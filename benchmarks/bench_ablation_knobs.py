@@ -1,0 +1,96 @@
+"""Ablation: each design knob's marginal effect on the attack battery.
+
+Starts from a deliberately weak straw-man design (DevId auth, no
+checks) and turns on one mitigation at a time, re-running the full
+battery.  Shows which check closes which attack — the causal story
+behind Table III's spread of outcomes.
+"""
+
+from typing import Dict
+
+from repro.attacks.results import Outcome
+from repro.attacks.runner import ATTACK_IDS, run_all_attacks
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+
+from conftest import emit
+
+BASE = dict(
+    device_type="smart-plug",
+    device_auth=DeviceAuthMode.DEV_ID,
+    device_auth_known=DeviceAuthMode.DEV_ID,
+    firmware_available=True,
+    unbind_checks_bound_user=False,
+    rebind_replaces_existing=True,
+    single_connection_per_device=True,
+    id_scheme="serial-number",
+    id_serial_digits=6,
+)
+
+ABLATIONS = {
+    "weak-baseline": {},
+    "+checked-unbind": {"unbind_checks_bound_user": True},
+    "+no-rebind-replace": {"rebind_replaces_existing": False},
+    "+multi-connection": {"single_connection_per_device": False},
+    "+post-binding-token": {"post_binding_token": True},
+    "+ip-match": {"ip_match_required": True},
+    "+dev-token-auth": {
+        "device_auth": DeviceAuthMode.DEV_TOKEN,
+        "device_auth_known": DeviceAuthMode.DEV_TOKEN,
+    },
+}
+
+
+_SHORT = {"escalated": "esc"}
+
+
+def run_ablation() -> Dict[str, Dict[str, str]]:
+    grid: Dict[str, Dict[str, str]] = {}
+    for label, overrides in ABLATIONS.items():
+        config = dict(BASE)
+        config.update(overrides)
+        design = VendorDesign(name=f"ablation:{label}", **config)
+        reports = run_all_attacks(design, seed=1)
+        grid[label] = {
+            aid: _SHORT.get(reports[aid].outcome.value, reports[aid].outcome.value)
+            for aid in ATTACK_IDS
+        }
+    return grid
+
+
+def render_grid(grid: Dict[str, Dict[str, str]]) -> str:
+    header = f"{'design':<22}" + "".join(f"{aid:>7}" for aid in ATTACK_IDS)
+    lines = ["Ablation: marginal effect of each mitigation", header,
+             "-" * len(header)]
+    for label, outcomes in grid.items():
+        lines.append(
+            f"{label:<22}" + "".join(f"{outcomes[aid]:>7}" for aid in ATTACK_IDS)
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_grid(benchmark):
+    grid = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    weak = grid["weak-baseline"]
+    # The straw man loses on every front except A2: silent rebinding
+    # (ironically, as on KONKE) lets the victim's setup replace the
+    # attacker's occupation, so the DoS never sticks.
+    assert weak["A1"] == "yes" and weak["A2"] == "no"
+    assert weak["A3-2"] == "yes" and weak["A3-4"] == "yes"
+    assert weak["A4-1"] == "yes"
+
+    # Each mitigation closes its own attack.
+    assert grid["+checked-unbind"]["A3-2"] == "no"
+    # ...and closing hijack-by-replacement re-opens binding occupation:
+    assert grid["+no-rebind-replace"]["A4-1"] == "no"
+    assert grid["+no-rebind-replace"]["A2"] == "yes"
+    assert grid["+multi-connection"]["A3-4"] == "no"
+    assert grid["+post-binding-token"]["A4-1"] == "no"
+    assert grid["+post-binding-token"]["A4-2"] == "no"
+    assert grid["+ip-match"]["A2"] == "no"
+    # Dynamic tokens wipe out the device-forgery family wholesale.
+    devtoken = grid["+dev-token-auth"]
+    assert devtoken["A1"] == "no" and devtoken["A3-4"] == "no"
+    assert devtoken["A4-1"] == "no" and devtoken["A4-2"] == "no"
+
+    emit("ablation_knobs", render_grid(grid))

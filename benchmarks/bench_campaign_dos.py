@@ -1,0 +1,56 @@
+"""Section V-C's scalable DoS: product-line-wide campaigns.
+
+Benchmarks the fleet-scale binding-DoS campaign (enumerate the
+sequential ID space, occupy every unit's binding, deny every customer)
+and the mass-unbind variant on an unchecked-revocation design.
+"""
+
+from repro.attacks.campaign import campaign_binding_dos, campaign_mass_unbind
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.fleet import FleetDeployment
+from repro.vendors import vendor
+
+from conftest import emit
+
+
+def test_campaign_binding_dos_fleetwide(benchmark):
+    def campaign():
+        fleet = FleetDeployment(vendor("OZWI"), households=8, seed=5)
+        return campaign_binding_dos(fleet, max_probes=64)
+
+    report = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert report.ids_hit == 8
+    assert report.victims_denied == 8
+    assert report.denial_rate == 1.0
+    emit("campaign_binding_dos", report.render())
+
+
+def test_campaign_mass_unbind_fleetwide(benchmark):
+    design = VendorDesign(
+        name="Orvibo-like", device_type="smart-plug",
+        device_auth=DeviceAuthMode.DEV_TOKEN,
+        unbind_checks_bound_user=False,          # the A3-2 flaw
+        id_scheme="serial-number", id_serial_digits=6,
+    )
+
+    def campaign():
+        fleet = FleetDeployment(design, households=8, seed=5)
+        assert fleet.setup_all() == 8
+        fleet.run(12.0)
+        return campaign_mass_unbind(fleet, max_probes=64)
+
+    report = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert report.victims_denied == 8
+    emit("campaign_mass_unbind", report.render())
+
+
+def test_campaign_blocked_on_secure_design(benchmark):
+    from repro.secure import SECURE_CAPABILITY
+
+    def campaign():
+        fleet = FleetDeployment(SECURE_CAPABILITY, households=6, seed=5)
+        return campaign_binding_dos(fleet, max_probes=32)
+
+    report = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert report.victims_denied == 0
+    emit("campaign_blocked_secure", report.render())

@@ -1,0 +1,33 @@
+"""Figure 1: the remote-binding life cycle, observed on the wire.
+
+Benchmarks the full Figure 1 flow (login -> provisioning -> local
+configuration -> binding -> control -> revocation) on a representative
+DevToken vendor and on the one device-initiated vendor.
+"""
+
+from repro.analysis.traces import trace_lifecycle
+from repro.vendors import vendor
+
+from conftest import emit
+
+
+def test_fig1_lifecycle_app_initiated(benchmark):
+    text = benchmark(trace_lifecycle, vendor("Belkin"))
+    for step in (
+        "1. user authentication",
+        "2. local configuration",
+        "3. binding creation",
+        "4. remote control",
+        "5. binding revocation",
+    ):
+        assert step in text
+    assert "Login:(UserId,UserPw)" in text
+    assert "Bind:(DevId,UserToken)" in text
+    assert "Unbind:(DevId,UserToken)" in text
+    emit("fig1_lifecycle_app_initiated", text)
+
+
+def test_fig1_lifecycle_device_initiated(benchmark):
+    text = benchmark(trace_lifecycle, vendor("TP-LINK"))
+    assert "Bind:(DevId,UserId,UserPw)" in text  # Figure 4b shape
+    emit("fig1_lifecycle_device_initiated", text)

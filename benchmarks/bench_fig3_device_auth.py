@@ -1,0 +1,14 @@
+"""Figure 3: the three device-authentication designs, traced end to end."""
+
+from repro.analysis.traces import trace_device_auth
+
+from conftest import emit
+
+
+def test_fig3_device_auth_designs(benchmark):
+    text = benchmark(trace_device_auth)
+    assert "Status:DevToken" in text       # Type 1
+    assert "Status:DevId" in text          # Type 2
+    assert "Status:Signed" in text         # public-key design
+    assert text.count("shadow state: online") == 3
+    emit("fig3_device_auth", text)

@@ -1,0 +1,14 @@
+"""Figure 4: the three binding-creation designs, traced end to end."""
+
+from repro.analysis.traces import trace_binding_creation
+
+from conftest import emit
+
+
+def test_fig4_binding_creation_designs(benchmark):
+    text = benchmark(trace_binding_creation)
+    assert "Bind:(DevId,UserToken)" in text      # 4a: ACL by app
+    assert "Bind:(DevId,UserId,UserPw)" in text  # 4b: ACL by device
+    assert "Bind:BindToken" in text              # 4c: capability
+    assert text.count("state: control") == 3     # all three flows succeed
+    emit("fig4_binding_creation", text)

@@ -1,0 +1,48 @@
+"""Fleet scaling: the simulation at product-line size.
+
+Builds and operates worlds of up to 100 independent households against
+one cloud — the scale at which Section V-C's "entire product series"
+framing becomes literal — and pins the cost of doing so.
+"""
+
+from repro.attacks.campaign import campaign_binding_dos
+from repro.fleet import FleetDeployment
+from repro.vendors import vendor
+
+from conftest import emit
+
+
+def test_build_and_operate_100_households(benchmark):
+    def build_and_run():
+        fleet = FleetDeployment(vendor("OZWI"), households=100, seed=8)
+        bound = fleet.setup_all()
+        fleet.run(15.0)  # a few heartbeat rounds for everyone
+        return fleet, bound
+
+    fleet, bound = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+    assert bound == 100
+    states = [
+        fleet.cloud.shadow_state(h.device.device_id) for h in fleet.households
+    ]
+    assert states.count("control") == 100
+    emit(
+        "fleet_scaling",
+        f"100-household fleet: {bound} bound, all in control state; "
+        f"{len(fleet.cloud.audit)} cloud requests handled",
+    )
+
+
+def test_campaign_against_100_households(benchmark):
+    def campaign():
+        fleet = FleetDeployment(vendor("OZWI"), households=100, seed=8)
+        return campaign_binding_dos(fleet, max_probes=128)
+
+    report = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert report.ids_hit == 100
+    assert report.victims_denied == 100
+    emit(
+        "fleet_campaign_100",
+        f"128 probes occupied all {report.ids_hit} units; "
+        f"{report.victims_denied}/100 customers denied "
+        f"({report.modelled_seconds:.2f}s of modelled attack traffic)",
+    )

@@ -1,0 +1,38 @@
+"""The convenience axis: message cost of weak vs. recommended designs.
+
+Section IV repeatedly notes that vendors trade security for setup
+convenience (DevId binding works without local co-presence, Type-2
+unbind saves a round trip, ...).  This benchmark measures the trade:
+full Figure 1 setup cost in messages for each studied vendor and each
+secure baseline.
+"""
+
+from repro.analysis.metrics import compare_designs, render_costs
+from repro.secure import SECURE_BASELINES
+from repro.vendors import STUDIED_VENDORS
+
+from conftest import emit
+
+
+def test_setup_overhead_across_designs(benchmark):
+    designs = list(STUDIED_VENDORS) + list(SECURE_BASELINES)
+    costs = benchmark.pedantic(
+        compare_designs, args=(designs,), kwargs={"seed": 4}, rounds=1, iterations=1
+    )
+    by_name = {cost.design: cost for cost in costs}
+
+    # Every flow completes.
+    assert all(cost.setup_succeeded for cost in costs), [
+        c.design for c in costs if not c.setup_succeeded
+    ]
+    # The recommended designs cost at most a few extra messages over the
+    # cheapest weak design — security is not expensive here.
+    cheapest_weak = min(
+        by_name[d.name].total for d in STUDIED_VENDORS
+    )
+    for baseline in SECURE_BASELINES:
+        assert by_name[baseline.name].total <= cheapest_weak + 8, baseline.name
+    # Capability binding adds the BindToken round trip + local delivery.
+    capability = by_name["Secure-Capability"]
+    assert "Bind:BindToken" in capability.by_summary
+    emit("overhead", render_costs(costs))

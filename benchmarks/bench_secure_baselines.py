@@ -1,0 +1,30 @@
+"""Section IV/VII assessments: the recommended designs under the battery.
+
+Runs the same 9-attack battery used for Table III against the three
+secure reference designs and checks the paper's claims: capability
+binding defeats everything; DevToken/PubKey ACL designs defeat every
+hijack/unbind/data attack but cannot stop binding occupation (A2).
+"""
+
+from repro.secure import verify_all_baselines
+from repro.secure.verifier import expected_surviving_attacks
+
+from conftest import emit
+
+
+def test_secure_baselines_battery(benchmark):
+    verdicts = benchmark.pedantic(
+        verify_all_baselines, kwargs={"seed": 9}, rounds=3, iterations=1,
+    )
+    for verdict in verdicts:
+        assert verdict.matches_expectation, (
+            verdict.design.name, verdict.surviving_attacks(),
+        )
+        assert verdict.no_hijack_or_data_leak
+    capability = next(v for v in verdicts if "Capability" in v.design.name)
+    assert capability.all_defeated
+    assert expected_surviving_attacks(capability.design) == []
+    emit(
+        "secure_baselines",
+        "\n\n".join(verdict.render() for verdict in verdicts),
+    )

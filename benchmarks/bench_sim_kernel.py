@@ -1,0 +1,76 @@
+"""Simulation-kernel performance: event throughput and world scaling.
+
+Not a paper artifact — a fitness benchmark for the substrate everything
+else runs on.  Regressions here silently slow the whole Table III
+battery, so the numbers are pinned by benchmark history.
+"""
+
+from repro.core.messages import StatusMessage
+from repro.net.network import Network
+from repro.sim.environment import Environment
+from repro.sim.scheduler import Scheduler
+
+from conftest import emit
+
+
+def test_scheduler_event_throughput(benchmark):
+    def run_events():
+        scheduler = Scheduler()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        for i in range(10_000):
+            scheduler.at(float(i % 100), tick)
+        scheduler.run_until(100.0)
+        return fired[0]
+
+    count = benchmark(run_events)
+    assert count == 10_000
+
+
+def test_periodic_timer_chains(benchmark):
+    def run_timers():
+        env = Environment(seed=0)
+        ticks = [0]
+        for i in range(50):
+            env.every(1.0 + i * 0.01, lambda: ticks.__setitem__(0, ticks[0] + 1))
+        env.run_for(100.0)
+        return ticks[0]
+
+    count = benchmark(run_timers)
+    assert count > 3000
+
+
+def test_network_request_throughput(benchmark):
+    env = Environment(seed=0)
+    network = Network(env)
+    from repro.core.messages import Response
+
+    network.add_internet_node("cloud", lambda p: Response(), "52.0.0.1")
+    network.create_lan("lan", "home", "pass", "203.0.113.1")
+    network.add_node("phone")
+    network.join_lan("phone", "lan", "pass")
+    message = StatusMessage(device_id="d")
+
+    def send_batch():
+        for _ in range(1000):
+            network.request("phone", "cloud", message)
+        return 1000
+
+    count = benchmark(send_batch)
+    assert count == 1000
+
+
+def test_full_deployment_construction(benchmark):
+    from repro.scenario import Deployment
+    from repro.vendors import vendor
+
+    world = benchmark(Deployment, vendor("D-LINK"))
+    assert world.cloud.registry.is_registered(world.victim.device.device_id)
+    emit(
+        "sim_kernel",
+        "kernel benchmarks: see the pytest-benchmark table "
+        "(scheduler throughput, timer chains, request path, world construction)",
+    )

@@ -1,0 +1,55 @@
+"""Detectability survey + the advisor's minimal fixes (extensions).
+
+Two answers to the paper's closing concerns: how *stealthy* the attacks
+really are (abstract: "stealthy device control"), and what it takes to
+fix each product (Section VIII: "help IoT vendors improve the security
+of their products").
+"""
+
+from repro.analysis.advisor import advise, verify_advice
+from repro.analysis.stealth import render_survey, stealth_survey
+from repro.vendors import STUDIED_VENDORS, vendor
+
+from conftest import emit
+
+
+def test_stealth_survey_with_and_without_feed(benchmark):
+    from repro.cloud.policy import VendorDesign
+
+    base = vendor("E-Link Smart")
+    values = dict(base.__dict__)
+    values["name"] = "E-Link Smart+feed"
+    values["notifies_user"] = True
+    with_feed = VendorDesign(**values)
+
+    def survey():
+        return (
+            stealth_survey(base, seed=6),
+            stealth_survey(with_feed, seed=6),
+        )
+
+    silent, notified = benchmark.pedantic(survey, rounds=1, iterations=1)
+    silent_by_id = {r.attack_id: r for r in silent}
+    notified_by_id = {r.attack_id: r for r in notified}
+    # without a feed the hijack produces no notification...
+    assert silent_by_id["A4-1"].attack_outcome == "yes"
+    assert silent_by_id["A4-1"].notifications == []
+    # ...with a feed the very same hijack announces itself
+    assert "binding-replaced" in notified_by_id["A4-1"].notifications
+    emit(
+        "stealth_survey",
+        render_survey(base, silent) + "\n\n" + render_survey(with_feed, notified),
+    )
+
+
+def test_advisor_fixes_every_vendor(benchmark):
+    def run_advisor():
+        return [advise(design) for design in STUDIED_VENDORS]
+
+    advices = benchmark.pedantic(run_advisor, rounds=1, iterations=1)
+    for advice in advices:
+        assert advice.already_secure or advice.fixed_design is not None
+        if not advice.already_secure:
+            assert len(advice.changes) <= 2          # two changes always suffice
+            assert verify_advice(advice, seed=6)     # and the simulation agrees
+    emit("advisor_fixes", "\n".join(advice.render() for advice in advices))

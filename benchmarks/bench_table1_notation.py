@@ -1,0 +1,14 @@
+"""Table I: the notation registry (message/identifier vocabulary)."""
+
+from repro.core.notation import TABLE_I, render_table_i
+
+from conftest import emit
+
+
+def test_table1_notation(benchmark):
+    text = benchmark(render_table_i)
+    assert len(TABLE_I) == 9
+    for symbol in ("Status", "Bind", "Unbind", "DevId", "DevToken",
+                   "BindToken", "UserToken", "UserId", "UserPw"):
+        assert symbol in text
+    emit("table1_notation", text)

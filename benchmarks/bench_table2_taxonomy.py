@@ -1,0 +1,34 @@
+"""Table II: the attack taxonomy, derived from the state machine."""
+
+from repro.analysis.surface import build_taxonomy, render_table_ii, surface_summary
+from repro.core.states import ShadowState
+
+from conftest import emit
+
+
+def test_table2_taxonomy(benchmark):
+    text = benchmark(render_table_ii)
+    rows = build_taxonomy()
+    assert [r.attack_id for r in rows] == [
+        "A1", "A2", "A3-1", "A3-2", "A3-3", "A3-4", "A4-1", "A4-2", "A4-3",
+    ]
+    # End states as printed in the paper's Table II.
+    by_id = {r.attack_id: r for r in rows}
+    assert by_id["A1"].end_state is ShadowState.CONTROL
+    assert by_id["A2"].end_state is ShadowState.BOUND
+    assert all(by_id[v].end_state is ShadowState.ONLINE
+               for v in ("A3-1", "A3-2", "A3-3", "A3-4"))
+    assert all(by_id[v].end_state is ShadowState.CONTROL
+               for v in ("A4-1", "A4-2", "A4-3"))
+    emit("table2_taxonomy", text)
+
+
+def test_table2_surface_exploration(benchmark):
+    summary = benchmark(surface_summary)
+    assert summary == {"total": 12, "state_changing": 6}
+    emit(
+        "table2_surface_summary",
+        "Systematic surface exploration: "
+        f"{summary['total']} (state x forged-primitive) probes, "
+        f"{summary['state_changing']} change the shadow state",
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Device hijacking demo: the paper's A4 attacks, step by step.
+
+Recreates the two hijacking stories of Section VI-B:
+
+* device #9 (E-Link Smart camera): A4-1 — one forged Bind replaces the
+  victim's binding and, because the camera authenticates with its
+  static DevId, the cloud happily relays the attacker's commands to it;
+* device #8 (TP-LINK bulb): A4-3 — a forged ``Unbind:DevId`` knocks the
+  victim's binding out, then a forged device-initiated Bind takes over.
+
+Both attacks run fully remotely: the attacker never touches the
+victim's LAN (the simulation's firewall would refuse).
+
+Run:
+    python examples/device_hijack_demo.py
+"""
+
+from repro import Deployment, vendor
+from repro.attacks import RemoteAttacker
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def hijack_elink() -> None:
+    banner("A4-1 on E-Link Smart (IP camera): bind-replacement hijack")
+    world = Deployment(vendor("E-Link Smart"), seed=11)
+    mallory = RemoteAttacker(world)
+    mallory.login()
+
+    print("victim sets up her camera...")
+    assert world.victim_full_setup()
+    print(f"  shadow: {world.shadow_state()}, bound to {world.bound_user()}")
+
+    print("attacker knows the camera's 6-digit serial (leaked/enumerated)")
+    mallory.learn_victim_device_id(world.victim.device.device_id)
+
+    print("attacker sends one forged Bind:(DevId, attacker's UserToken)...")
+    accepted, code, response = mallory.send(mallory.forge_bind())
+    print(f"  cloud answer: {'accepted' if accepted else code}")
+    print(f"  binding now belongs to: {world.bound_user()}")
+
+    print("attacker starts the camera stream remotely...")
+    mallory.control_victim_device("stream")
+    world.run_heartbeats(2)
+    executed = world.victim.device.executed_commands[-1]
+    print(f"  victim's camera executed {executed.command!r} "
+          f"issued by {executed.issued_by!r}")
+    print(f"  camera streaming: {world.victim.device.state['streaming']}")
+
+
+def hijack_tplink() -> None:
+    banner("A4-3 on TP-LINK (smart bulb): unbind-then-bind hijack")
+    world = Deployment(vendor("TP-LINK"), seed=11)
+    mallory = RemoteAttacker(world)
+    mallory.login()
+
+    print("victim sets up her bulb...")
+    assert world.victim_full_setup()
+    print(f"  shadow: {world.shadow_state()}, bound to {world.bound_user()}")
+
+    mallory.learn_victim_device_id(world.victim.device.device_id)
+    print("step 1: forged Unbind:DevId (the reset-style endpoint)...")
+    accepted, code, _ = mallory.send(mallory.forge_unbind_type2())
+    print(f"  cloud answer: {'accepted' if accepted else code}")
+    print(f"  shadow: {world.shadow_state()} (victim disconnected)")
+
+    print("step 2: forged device-initiated Bind with the attacker's account...")
+    accepted, code, _ = mallory.send(mallory.forge_bind())
+    print(f"  cloud answer: {'accepted' if accepted else code}")
+    print(f"  binding now belongs to: {world.bound_user()}")
+
+    print("attacker flips the victim's lights...")
+    mallory.control_victim_device("on")
+    world.run_heartbeats(2)
+    print(f"  bulb is on: {world.victim.device.state['on']}")
+
+
+def defence_dlink() -> None:
+    banner("Why the same forgery fails on D-LINK: post-binding token")
+    world = Deployment(vendor("D-LINK"), seed=11)
+    mallory = RemoteAttacker(world)
+    mallory.login()
+    assert world.victim_full_setup()
+    mallory.learn_victim_device_id(world.victim.device.device_id)
+
+    accepted, code, _ = mallory.send(mallory.forge_bind())
+    print(f"forged Bind in the control state: "
+          f"{'accepted' if accepted else f'rejected ({code})'}")
+    ok, code = mallory.control_victim_device("on")
+    print(f"attacker's control attempt: {'accepted' if ok else f'rejected ({code})'}")
+    print("the device never received the attacker's post-binding token, so")
+    print("even a successful occupation cannot become a hijack (Section IV-B)")
+
+
+if __name__ == "__main__":
+    hijack_elink()
+    hijack_tplink()
+    defence_dlink()

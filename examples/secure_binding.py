@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Secure binding: the paper's recommended designs, working and attacked.
+
+Walks the capability-based binding flow (Samsung-SmartThings style,
+Figure 4c) that the paper recommends, then runs the full Table III
+attack battery against all three secure baselines and prints the
+verdicts — including the honest caveat of Section IV-B: ACL binding,
+however strong its tokens, still admits binding occupation (A2); only
+capability binding closes everything.
+
+Run:
+    python examples/secure_binding.py
+"""
+
+from repro import Deployment
+from repro.secure import SECURE_CAPABILITY, verify_all_baselines
+
+
+def main() -> None:
+    print("capability-based binding, end to end:")
+    world = Deployment(SECURE_CAPABILITY, seed=13)
+    alice = world.victim
+
+    alice.app.login()
+    alice.device.power_on()
+    alice.app.provision_wifi(alice.ssid, alice.wifi_passphrase)
+    alice.app.local_configure(alice.device)
+    print(f"  1. device authenticated:     shadow = {world.shadow_state()}")
+
+    bound = alice.app.bind_device(alice.device)
+    print(f"  2. BindToken fetched by app, delivered locally, submitted by device")
+    print(f"     binding created: {bound}, bound user = {world.bound_user()}")
+    print(f"     device holds the post-binding token: "
+          f"{alice.device.post_binding_token is not None}")
+
+    alice.app.control(alice.device.device_id, "on")
+    world.run_heartbeats(1)
+    print(f"  3. remote control works:     plug on = {alice.device.state['on']}")
+
+    print()
+    print("attack battery against the three recommended designs:")
+    for verdict in verify_all_baselines(seed=13):
+        print()
+        print(verdict.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Four-party smart home: Zigbee devices behind an IP hub.
+
+The paper's Section VIII asks whether its three-party analysis extends
+to hub architectures.  This example answers by construction: the hub is
+the "device" of the remote-binding model, so one hijacked hub hands the
+attacker every sensor and switch in the house.
+
+Run:
+    python examples/smart_home_hub.py
+"""
+
+from repro import Deployment
+from repro.attacks import RemoteAttacker
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.messages import ControlMessage
+from repro.hub import ZigbeeAir, ZigbeeContactSensor, ZigbeeSwitch, pair_child
+
+
+def main() -> None:
+    design = VendorDesign(
+        name="HubVendor", device_type="zigbee-hub",
+        device_auth=DeviceAuthMode.DEV_ID,
+        device_auth_known=DeviceAuthMode.DEV_ID,
+        firmware_available=True,
+        rebind_replaces_existing=True,   # the A4-1 flaw, now on a hub
+        id_scheme="serial-number",
+    )
+    world = Deployment(design, seed=23)
+    alice = world.victim
+
+    print("Alice binds her hub and pairs a door sensor + a light switch...")
+    assert world.victim_full_setup()
+    hub = alice.device
+    mesh = ZigbeeAir()
+    hub.attach_mesh(mesh)
+    door = ZigbeeContactSensor(world.env, mesh, alice.location)
+    light = ZigbeeSwitch(world.env, mesh, alice.location)
+    assert pair_child(hub, door)
+    assert pair_child(hub, light)
+    print(f"  paired children: {hub.paired_children()}")
+
+    door.set_open(True)
+    door.report()
+    light.report()
+    world.run_heartbeats(1)
+    telemetry = alice.app.query(hub.device_id).payload["telemetry"]
+    print(f"  cloud sees: {telemetry['children']}")
+
+    alice.app.control(hub.device_id, "child",
+                      {"target": light.short_address, "command": "on"})
+    world.run_heartbeats(1)
+    print(f"  Alice turns the light on remotely: {light.state['on']}")
+
+    print("\nMallory hijacks the HUB with one forged Bind (A4-1)...")
+    mallory = RemoteAttacker(world)
+    mallory.login()
+    mallory.learn_victim_device_id(hub.device_id)
+    accepted, code, _ = mallory.send(mallory.forge_bind())
+    print(f"  cloud answer: {'accepted' if accepted else code}")
+    print(f"  hub now bound to: {world.bound_user()}")
+
+    mallory.send(ControlMessage(
+        user_token=mallory.app.user_token, device_id=hub.device_id,
+        command="child",
+        arguments={"target": light.short_address, "command": "off"},
+    ))
+    world.run_heartbeats(2)
+    print(f"  Mallory switches Alice's light off: on={light.state['on']}")
+    print("\none hub binding = the entire mesh: the three-party attacks")
+    print("amplify in the four-party architecture (Section VIII)")
+
+
+if __name__ == "__main__":
+    main()

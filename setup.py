@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox lacks the `wheel` package needed for PEP 517 editables)."""
+
+from setuptools import setup
+
+setup()

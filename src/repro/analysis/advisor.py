@@ -1,0 +1,137 @@
+"""Mitigation advisor: the minimal redesign that closes every attack.
+
+Section VIII hopes the analysis "could further help IoT vendors improve
+the security of their products and their clouds".  The advisor does
+that mechanically: starting from a vendor's current design, it searches
+over *individual knob changes* (breadth-first, so the result is a
+minimum-size change set) until the closed-form model predicts no
+successful attack, then re-verifies the fixed design by running the
+full simulated battery.
+
+Changes are restricted to things a vendor could actually ship in a
+cloud/firmware update: authentication mode, revocation checks,
+replacement semantics, connection policy, post-binding tokens.  The
+physical ID scheme and who sends the binding message are treated as
+hardware/UX constraints and left alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.design_space import predict
+from repro.attacks.results import Outcome
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+
+#: Individually shippable changes: (label, {field: value, ...}).
+CANDIDATE_CHANGES: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("adopt dynamic DevTokens for device authentication",
+     {"device_auth": DeviceAuthMode.DEV_TOKEN,
+      "device_auth_known": DeviceAuthMode.DEV_TOKEN}),
+    ("verify the requester is the bound user on unbind",
+     {"unbind_supported": True, "unbind_checks_bound_user": True}),
+    ("remove the bare Unbind:DevId endpoint",
+     {"unbind_accepts_bare_dev_id": False}),
+    ("stop replacing existing bindings on re-bind",
+     {"rebind_replaces_existing": False, "unbind_supported": True,
+      "unbind_checks_bound_user": True}),
+    ("issue post-binding authorization tokens",
+     {"post_binding_token": True}),
+    ("tolerate concurrent device connections (keep the first)",
+     {"single_connection_per_device": False}),
+    ("require a fresh same-IP device registration to bind",
+     {"ip_match_required": True}),
+)
+
+
+def _apply_changes(design: VendorDesign, indices: FrozenSet[int]) -> VendorDesign:
+    values = dict(design.__dict__)
+    for index in sorted(indices):
+        values.update(CANDIDATE_CHANGES[index][1])
+    values["name"] = design.name  # same product
+    return VendorDesign(**values)
+
+
+def _full_knowledge(design: VendorDesign) -> VendorDesign:
+    """The same design under Kerckhoffs' principle: the attacker knows
+    the protocol.  UNCONFIRMED cells (firmware obscurity) must not count
+    as security, so the advisor evaluates this variant."""
+    values = dict(design.__dict__)
+    values["device_auth_known"] = design.device_auth
+    values["firmware_available"] = True
+    return VendorDesign(**values)
+
+
+def _is_secure(design: VendorDesign) -> bool:
+    outcomes = predict(_full_knowledge(design))
+    return not any(
+        outcome in (Outcome.SUCCESS, Outcome.ESCALATED)
+        for outcome in outcomes.values()
+    )
+
+
+@dataclass
+class Advice:
+    """The advisor's output for one vendor."""
+
+    vendor: str
+    already_secure: bool
+    changes: List[str] = field(default_factory=list)
+    fixed_design: Optional[VendorDesign] = None
+
+    def render(self) -> str:
+        """Human-readable change list."""
+        if self.already_secure:
+            return f"{self.vendor}: already defeats the full battery"
+        if self.fixed_design is None:
+            return f"{self.vendor}: no fix found within the change budget"
+        lines = [f"{self.vendor}: {len(self.changes)} change(s) close every attack"]
+        lines.extend(f"  - {change}" for change in self.changes)
+        return "\n".join(lines)
+
+
+def advise(design: VendorDesign, max_changes: int = 4) -> Advice:
+    """Minimum-size set of shippable changes that secures *design*."""
+    if _is_secure(design):
+        return Advice(design.name, already_secure=True, fixed_design=design)
+    seen = {frozenset()}
+    frontier: deque = deque([frozenset()])
+    while frontier:
+        current = frontier.popleft()
+        if len(current) >= max_changes:
+            continue
+        for index in range(len(CANDIDATE_CHANGES)):
+            if index in current:
+                continue
+            candidate = current | {index}
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            try:
+                fixed = _apply_changes(design, candidate)
+            except Exception:
+                continue  # inconsistent combination
+            if _is_secure(fixed):
+                return Advice(
+                    design.name,
+                    already_secure=False,
+                    changes=[CANDIDATE_CHANGES[i][0] for i in sorted(candidate)],
+                    fixed_design=fixed,
+                )
+            frontier.append(candidate)
+    return Advice(design.name, already_secure=False)
+
+
+def verify_advice(advice: Advice, seed: int = 0) -> bool:
+    """Re-check the fix with the full simulated battery (not the model)."""
+    from repro.attacks.runner import run_all_attacks
+
+    if advice.fixed_design is None:
+        return False
+    reports = run_all_attacks(advice.fixed_design, seed=seed)
+    return not any(
+        report.outcome in (Outcome.SUCCESS, Outcome.ESCALATED)
+        for report in reports.values()
+    )

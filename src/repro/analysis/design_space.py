@@ -1,0 +1,318 @@
+"""Closed-form outcome model and design-space exploration.
+
+The paper derives attack outcomes from design choices by argument
+(Section V); the simulation derives them by execution.  This module
+writes the argument down as a *pure function* from a
+:class:`VendorDesign` to predicted attack outcomes, then:
+
+* checks the prediction against the real simulation (conformance — the
+  tests sample the design space and demand agreement), and
+* sweeps the whole ACL design space to map which knob combinations are
+  safe, partially safe, or broken — the kind of exhaustive analysis the
+  paper lists as future work ("formally verify their security
+  properties").
+
+Three-valued logic mirrors the paper's evaluation: an attack can be
+predicted to succeed, fail, or be *unconfirmable* for an analyst
+without firmware access.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.attacks.results import Outcome
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+
+ATTACK_IDS = ("A1", "A2", "A3-1", "A3-2", "A3-3", "A3-4", "A4-1", "A4-2", "A4-3")
+
+
+# ---------------------------------------------------------------------------
+# the closed-form model (Section V, rule by rule)
+# ---------------------------------------------------------------------------
+
+
+def _status_forgeable(design: VendorDesign) -> Optional[bool]:
+    """Can a remote attacker authenticate as the device?  (None = cannot
+    be determined without firmware — the paper's "O".)"""
+    known = design.device_auth_known
+    if known is None:
+        return None
+    if known in (DeviceAuthMode.DEV_TOKEN, DeviceAuthMode.PUBKEY):
+        return False
+    # DevId designs: the identifier is known, but *crafting* the device
+    # message still needs the wire format from a firmware image.
+    return True if design.firmware_available else None
+
+
+def _bind_craftable(design: VendorDesign) -> Optional[bool]:
+    """Can the attacker produce a syntactically valid Bind?"""
+    if design.bind_sender is BindSender.APP:
+        return True  # observed via MITM of one's own app
+    return True if design.firmware_available else None
+
+
+def _bind_accepted(design: VendorDesign, state: str) -> bool:
+    """Would the cloud accept a foreign Bind in the given shadow state?"""
+    if design.ip_match_required:
+        return False  # no fresh same-IP registration exists remotely
+    if state == "initial" and design.bind_requires_online_device:
+        return False
+    if state == "control" and not design.rebind_replaces_existing:
+        return False
+    return True
+
+
+def _hijack_live(design: VendorDesign) -> bool:
+    """After a foreign binding, does the real device keep serving it?
+
+    DevToken designs rotate the token at (foreign) binding time, cutting
+    the device off; post-binding tokens block the control relay.  Static
+    identities (DevId) — and signatures, absent a post-binding token —
+    keep the device live under the attacker's binding (Section V-E).
+    """
+    if design.post_binding_token:
+        return False
+    return design.device_auth is not DeviceAuthMode.DEV_TOKEN
+
+
+def predict(design: VendorDesign) -> Dict[str, Outcome]:
+    """Predicted outcome of every attack against *design*."""
+    if design.bind_schema is BindSchema.CAPABILITY:
+        return _predict_capability(design)
+
+    fs = _status_forgeable(design)
+    craft = _bind_craftable(design)
+    outcomes: Dict[str, Outcome] = {}
+
+    # A1 — data injection and stealing
+    if fs is None:
+        outcomes["A1"] = Outcome.UNCONFIRMED
+    elif fs and design.status_yields_user_data:
+        outcomes["A1"] = Outcome.SUCCESS
+    else:
+        outcomes["A1"] = Outcome.FAILED
+
+    # A2 — binding denial-of-service (initial state).
+    # Replacement lets the victim recover (KONKE) — but only if she can
+    # actually submit her bind: with device-initiated binding under
+    # DevToken auth, the occupied binding blocks token issuance, the
+    # device never connects, and its bind is never sent.
+    victim_can_rebind = design.rebind_replaces_existing and (
+        design.bind_sender is BindSender.APP
+        or design.device_auth is not DeviceAuthMode.DEV_TOKEN
+    )
+    if craft is None:
+        outcomes["A2"] = Outcome.UNCONFIRMED
+    elif not _bind_accepted(design, "initial"):
+        outcomes["A2"] = Outcome.FAILED
+    elif victim_can_rebind:
+        outcomes["A2"] = Outcome.FAILED  # the victim's own bind recovers
+    else:
+        outcomes["A2"] = Outcome.SUCCESS
+
+    # A3-1 — bare Unbind:DevId
+    if not design.unbind_supported or not design.unbind_accepts_bare_dev_id:
+        outcomes["A3-1"] = Outcome.FAILED
+    elif design.firmware_available:
+        outcomes["A3-1"] = Outcome.SUCCESS
+    else:
+        outcomes["A3-1"] = Outcome.UNCONFIRMED
+
+    # A3-2 — Unbind:(DevId, attacker's UserToken)
+    if design.unbind_supported and not design.unbind_checks_bound_user:
+        outcomes["A3-2"] = Outcome.SUCCESS
+    else:
+        outcomes["A3-2"] = Outcome.FAILED
+
+    # A3-3 — unbinding by binding replacement
+    if craft is None:
+        outcomes["A3-3"] = Outcome.UNCONFIRMED
+    elif not _bind_accepted(design, "control"):
+        outcomes["A3-3"] = Outcome.FAILED
+    elif _hijack_live(design):
+        outcomes["A3-3"] = Outcome.ESCALATED  # it is really A4-1
+    else:
+        outcomes["A3-3"] = Outcome.SUCCESS
+
+    # A3-4 — disconnect via forged status
+    if fs is None:
+        outcomes["A3-4"] = Outcome.UNCONFIRMED
+    elif fs and design.single_connection_per_device:
+        outcomes["A3-4"] = Outcome.SUCCESS
+    else:
+        outcomes["A3-4"] = Outcome.FAILED
+
+    # A4-1 — hijack by binding replacement (control state)
+    if craft is None:
+        outcomes["A4-1"] = Outcome.UNCONFIRMED
+    elif _bind_accepted(design, "control") and _hijack_live(design):
+        outcomes["A4-1"] = Outcome.SUCCESS
+    else:
+        outcomes["A4-1"] = Outcome.FAILED
+
+    # A4-2 — hijack in the setup window (online state)
+    if design.bind_sender is BindSender.DEVICE:
+        outcomes["A4-2"] = Outcome.NOT_APPLICABLE
+    elif _bind_accepted(design, "online") and _hijack_live(design):
+        outcomes["A4-2"] = Outcome.SUCCESS
+    else:
+        outcomes["A4-2"] = Outcome.FAILED
+
+    # A4-3 — unbind, then bind in the online state
+    step1 = (
+        outcomes["A3-1"] is Outcome.SUCCESS
+        or outcomes["A3-2"] is Outcome.SUCCESS
+    )
+    if craft is None:
+        outcomes["A4-3"] = Outcome.UNCONFIRMED
+    elif step1 and _bind_accepted(design, "online") and _hijack_live(design):
+        outcomes["A4-3"] = Outcome.SUCCESS
+    else:
+        outcomes["A4-3"] = Outcome.FAILED
+
+    return outcomes
+
+
+def _predict_capability(design: VendorDesign) -> Dict[str, Outcome]:
+    """Capability binding: the BindToken is the authority and only the
+    locally-provisioned device can submit it — every remote forgery
+    fails, and device-initiated binding leaves no setup window."""
+    fs = _status_forgeable(design)
+    outcomes = {attack_id: Outcome.FAILED for attack_id in ATTACK_IDS}
+    if fs is None:
+        outcomes["A1"] = Outcome.UNCONFIRMED
+        outcomes["A3-4"] = Outcome.UNCONFIRMED
+    elif fs:
+        outcomes["A1"] = (
+            Outcome.SUCCESS if design.status_yields_user_data else Outcome.FAILED
+        )
+        if design.single_connection_per_device:
+            outcomes["A3-4"] = Outcome.SUCCESS
+    outcomes["A4-2"] = Outcome.NOT_APPLICABLE
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# the design-space sweep
+# ---------------------------------------------------------------------------
+
+
+def enumerate_design_space() -> Iterator[VendorDesign]:
+    """Every consistent ACL design under full analyst knowledge.
+
+    The grid covers the axes the paper decomposes: device auth x bind
+    sender x online requirement x IP match x revocation policy x bare
+    unbind x replacement x connection policy x post-binding token.
+    Inconsistent combinations (per ``VendorDesign`` validation) are
+    skipped.
+    """
+    auth_modes = [DeviceAuthMode.DEV_TOKEN, DeviceAuthMode.DEV_ID, DeviceAuthMode.PUBKEY]
+    senders = [BindSender.APP, BindSender.DEVICE]
+    booleans = [False, True]
+    revocations = ["checked", "unchecked", "none"]
+    counter = itertools.count()
+    for (auth, sender, requires_online, ip_match, revocation,
+         bare_unbind, replaces, single_conn, post_token) in itertools.product(
+            auth_modes, senders, booleans, booleans, revocations,
+            booleans, booleans, booleans, booleans):
+        if revocation == "none" and not replaces:
+            continue  # unbindable forever: rejected by validation
+        if revocation == "none" and bare_unbind:
+            continue  # no revocation endpoint at all
+        try:
+            yield VendorDesign(
+                name=f"space-{next(counter)}",
+                device_auth=auth,
+                device_auth_known=auth,
+                firmware_available=True,
+                bind_sender=sender,
+                bind_requires_online_device=requires_online,
+                ip_match_required=ip_match,
+                unbind_supported=revocation != "none",
+                unbind_checks_bound_user=revocation == "checked",
+                unbind_accepts_bare_dev_id=bare_unbind,
+                rebind_replaces_existing=replaces,
+                single_connection_per_device=single_conn,
+                post_binding_token=post_token,
+                id_scheme="serial-number",
+                id_serial_digits=8,
+            )
+        except Exception:  # pragma: no cover - defensive
+            continue
+
+
+@dataclass
+class SpaceSummary:
+    """Aggregate facts over a design-space sweep."""
+
+    total: int = 0
+    fully_secure: int = 0
+    hijackable: int = 0
+    dos_able: int = 0
+    unbindable_by_attacker: int = 0
+    data_exposed: int = 0
+    secure_examples: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join([
+            f"ACL design space: {self.total} consistent designs",
+            f"  fully secure (no attack succeeds): {self.fully_secure}"
+            f" ({self.fully_secure / self.total:.1%})" if self.total else "",
+            f"  vulnerable to hijacking (any A4): {self.hijackable}",
+            f"  vulnerable to binding DoS (A2):   {self.dos_able}",
+            f"  vulnerable to unbinding (any A3): {self.unbindable_by_attacker}",
+            f"  vulnerable to data attacks (A1):  {self.data_exposed}",
+        ])
+
+
+def sweep_design_space() -> SpaceSummary:
+    """Predict outcomes over the whole grid and aggregate."""
+    summary = SpaceSummary()
+    for design in enumerate_design_space():
+        outcomes = predict(design)
+        summary.total += 1
+        any_a4 = any(outcomes[a] is Outcome.SUCCESS for a in ("A4-1", "A4-2", "A4-3"))
+        any_a3 = any(
+            outcomes[a] is Outcome.SUCCESS for a in ("A3-1", "A3-2", "A3-3", "A3-4")
+        )
+        a2 = outcomes["A2"] is Outcome.SUCCESS
+        a1 = outcomes["A1"] is Outcome.SUCCESS
+        if any_a4:
+            summary.hijackable += 1
+        if any_a3:
+            summary.unbindable_by_attacker += 1
+        if a2:
+            summary.dos_able += 1
+        if a1:
+            summary.data_exposed += 1
+        if not (any_a4 or any_a3 or a2 or a1):
+            summary.fully_secure += 1
+            if len(summary.secure_examples) < 5:
+                summary.secure_examples.append(design.name)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# conformance: prediction vs. simulation
+# ---------------------------------------------------------------------------
+
+
+def conformance_diff(design: VendorDesign, seed: int = 0) -> Dict[str, Tuple[str, str]]:
+    """Run the real attack battery and diff it against the prediction.
+
+    Returns ``{attack_id: (simulated, predicted)}`` for every
+    disagreement; empty means the closed-form model and the simulation
+    agree on this design.
+    """
+    from repro.attacks.runner import run_all_attacks
+
+    predicted = predict(design)
+    simulated = run_all_attacks(design, seed=seed)
+    return {
+        attack_id: (simulated[attack_id].outcome.value, predicted[attack_id].value)
+        for attack_id in ATTACK_IDS
+        if simulated[attack_id].outcome is not predicted[attack_id]
+    }

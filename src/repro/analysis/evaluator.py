@@ -1,0 +1,141 @@
+"""Per-vendor attack evaluation: regenerating Table III.
+
+For each vendor profile, run the full A1–A4-3 battery (each attempt in
+a fresh simulated world, staged in its Table II targeted state) and
+condense the reports into the paper's cell vocabulary:
+
+* A1 cell: yes / no / O
+* A2 cell: yes / no
+* A3 cell: the successful variants joined with " & ", else no
+  (A3-3 attempts that escalate to control are classified as A4-1,
+  exactly as the paper does for device #9)
+* A4 cell: the first successful variant in severity order
+  (A4-1 > A4-2 > A4-3), else no
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks.results import AttackReport, Outcome
+from repro.attacks.runner import run_all_attacks
+from repro.cloud.policy import BindSender, VendorDesign
+from repro.vendors.catalog import PAPER_ROWS_BY_VENDOR, PaperRow
+from repro.vendors.profiles import STUDIED_VENDORS
+
+
+@dataclass
+class VendorEvaluation:
+    """Computed Table III row for one vendor."""
+
+    design: VendorDesign
+    reports: Dict[str, AttackReport] = field(default_factory=dict)
+
+    # -- design columns ------------------------------------------------------
+
+    @property
+    def status_cell(self) -> str:
+        known = self.design.device_auth_known
+        return known.value if known is not None else "O"
+
+    @property
+    def bind_cell(self) -> str:
+        if self.design.bind_sender is BindSender.DEVICE:
+            return "Sent by the device"
+        return "Sent by the app"
+
+    @property
+    def unbind_cell(self) -> str:
+        return self.design.unbind_signature
+
+    # -- attack columns ------------------------------------------------------
+
+    @property
+    def a1_cell(self) -> str:
+        return self.reports["A1"].outcome.value  # yes / no / O
+
+    @property
+    def a2_cell(self) -> str:
+        outcome = self.reports["A2"].outcome
+        return "yes" if outcome is Outcome.SUCCESS else "no"
+
+    @property
+    def a3_cell(self) -> str:
+        successes = [
+            attack_id
+            for attack_id in ("A3-1", "A3-2", "A3-3", "A3-4")
+            if self.reports[attack_id].outcome is Outcome.SUCCESS
+        ]
+        return " & ".join(successes) if successes else "no"
+
+    @property
+    def a4_cell(self) -> str:
+        for attack_id in ("A4-1", "A4-2", "A4-3"):
+            if self.reports[attack_id].outcome is Outcome.SUCCESS:
+                return attack_id
+        return "no"
+
+    def cells(self) -> Dict[str, str]:
+        return {
+            "status": self.status_cell,
+            "bind": self.bind_cell,
+            "unbind": self.unbind_cell,
+            "A1": self.a1_cell,
+            "A2": self.a2_cell,
+            "A3": self.a3_cell,
+            "A4": self.a4_cell,
+        }
+
+    def matches_paper(self) -> bool:
+        row = PAPER_ROWS_BY_VENDOR.get(self.design.name)
+        return row is not None and not self.diff_from_paper()
+
+    def diff_from_paper(self) -> Dict[str, tuple]:
+        """Cells where the computed row disagrees with the published one."""
+        row: Optional[PaperRow] = PAPER_ROWS_BY_VENDOR.get(self.design.name)
+        if row is None:
+            return {"vendor": (self.design.name, "<not in paper>")}
+        expected = {
+            "status": row.status,
+            "bind": row.bind,
+            "unbind": row.unbind,
+            "A1": row.a1,
+            "A2": row.a2,
+            "A3": row.a3,
+            "A4": row.a4,
+        }
+        computed = self.cells()
+        return {
+            key: (computed[key], expected[key])
+            for key in expected
+            if computed[key] != expected[key]
+        }
+
+
+def evaluate_vendor(design: VendorDesign, seed: int = 0) -> VendorEvaluation:
+    """Run the battery against one vendor and build its Table III row."""
+    return VendorEvaluation(design, run_all_attacks(design, seed=seed))
+
+
+def evaluate_all_vendors(seed: int = 0) -> List[VendorEvaluation]:
+    """Evaluate all ten studied vendors in Table III order."""
+    return [evaluate_vendor(design, seed=seed) for design in STUDIED_VENDORS]
+
+
+def summarize_attack_prevalence(evaluations: List[VendorEvaluation]) -> Dict[str, int]:
+    """Section VI-B headline counts (e.g. "6 devices suffer from A2")."""
+    return {
+        "A1": sum(1 for ev in evaluations if ev.a1_cell == "yes"),
+        "A2": sum(1 for ev in evaluations if ev.a2_cell == "yes"),
+        "A3": sum(1 for ev in evaluations if ev.a3_cell != "no"),
+        "A4": sum(1 for ev in evaluations if ev.a4_cell != "no"),
+        "any": sum(
+            1
+            for ev in evaluations
+            if ev.a1_cell == "yes"
+            or ev.a2_cell == "yes"
+            or ev.a3_cell != "no"
+            or ev.a4_cell != "no"
+        ),
+    }

@@ -1,0 +1,81 @@
+"""Export evaluation results: JSON, CSV and Markdown.
+
+EXPERIMENTS.md's paper-vs-measured tables are generated from these
+functions, and downstream users can feed the JSON into their own
+tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from repro.analysis.evaluator import VendorEvaluation, summarize_attack_prevalence
+
+CSV_COLUMNS = ["vendor", "device", "status", "bind", "unbind", "A1", "A2", "A3", "A4"]
+
+
+def evaluation_to_dict(evaluation: VendorEvaluation) -> dict:
+    """One vendor's computed row plus per-attack details."""
+    return {
+        "vendor": evaluation.design.name,
+        "device": evaluation.design.device_type,
+        "cells": evaluation.cells(),
+        "matches_paper": evaluation.matches_paper(),
+        "attacks": {
+            attack_id: {
+                "outcome": report.outcome.value,
+                "reason": report.reason,
+            }
+            for attack_id, report in evaluation.reports.items()
+        },
+    }
+
+
+def to_json(evaluations: Sequence[VendorEvaluation], indent: int = 2) -> str:
+    """The full evaluation as a JSON document."""
+    payload = {
+        "table": [evaluation_to_dict(ev) for ev in evaluations],
+        "prevalence": summarize_attack_prevalence(list(evaluations)),
+        "exact_reproduction": all(ev.matches_paper() for ev in evaluations),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def to_csv(evaluations: Sequence[VendorEvaluation]) -> str:
+    """Table III as CSV (one row per vendor)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for evaluation in evaluations:
+        cells = evaluation.cells()
+        writer.writerow([
+            evaluation.design.name,
+            evaluation.design.device_type,
+            cells["status"],
+            cells["bind"],
+            cells["unbind"],
+            cells["A1"],
+            cells["A2"],
+            cells["A3"],
+            cells["A4"],
+        ])
+    return buffer.getvalue()
+
+
+def to_markdown(evaluations: Sequence[VendorEvaluation]) -> str:
+    """Table III as a GitHub-flavoured Markdown table."""
+    header = "| # | Vendor | Device | Status | Bind | Unbind | A1 | A2 | A3 | A4 |"
+    rule = "|---|--------|--------|--------|------|--------|----|----|----|----|"
+    lines: List[str] = [header, rule]
+    for index, evaluation in enumerate(evaluations, start=1):
+        cells = evaluation.cells()
+        lines.append(
+            f"| {index} | {evaluation.design.name} | {evaluation.design.device_type} "
+            f"| {cells['status']} | {cells['bind'].replace('Sent by the ', '')} "
+            f"| {cells['unbind']} | {cells['A1']} | {cells['A2']} "
+            f"| {cells['A3']} | {cells['A4']} |"
+        )
+    return "\n".join(lines)

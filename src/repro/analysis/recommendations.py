@@ -1,0 +1,116 @@
+"""Lessons-learned checker (Section VII as executable lint).
+
+Given a :class:`VendorDesign`, flag every practice the paper's four
+lessons warn against.  Vendors can run this as a design-time check; the
+reproduction uses it to show the ten profiles trip exactly the findings
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cloud.policy import BindSender, DeviceAuthMode, VendorDesign
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated recommendation."""
+
+    rule: str
+    severity: str  # "high" | "medium"
+    message: str
+
+    def line(self) -> str:
+        return f"[{self.severity:<6}] {self.rule}: {self.message}"
+
+
+def check_design(design: VendorDesign) -> List[Finding]:
+    """All Section-VII findings for one design."""
+    findings: List[Finding] = []
+
+    # Lesson 1: never authenticate devices with static identifiers.
+    if design.device_auth is DeviceAuthMode.DEV_ID:
+        findings.append(Finding(
+            "static-device-id-auth", "high",
+            "device authentication uses the static DevId; request a "
+            "dynamic device secret from the user instead",
+        ))
+
+    # Lesson 2: binding needs real authorization, not ambient authority.
+    if design.device_auth is not DeviceAuthMode.PUBKEY and not design.post_binding_token \
+            and design.bind_schema.value == "acl":
+        findings.append(Finding(
+            "ambient-authority-binding", "high",
+            "ACL binding with no post-binding authorization: the DevId "
+            "acts as ambient authority and cannot represent ownership",
+        ))
+    if design.ip_match_required:
+        findings.append(Finding(
+            "ip-match-heuristic", "medium",
+            "source-IP comparison blocks remote binding forgery but is a "
+            "heuristic, not an authorization mechanism",
+        ))
+
+    # Lesson 3: revocation is an authorization step.
+    if not design.unbind_supported:
+        findings.append(Finding(
+            "revocation-by-replacement", "high",
+            "no unbinding endpoint; replacing bindings stands in for "
+            "revocation and invites unbinding/hijacking attacks",
+        ))
+    elif not design.unbind_checks_bound_user:
+        findings.append(Finding(
+            "unchecked-unbind", "high",
+            "Type-1 unbind does not verify the requester is the bound user",
+        ))
+    if design.unbind_accepts_bare_dev_id:
+        findings.append(Finding(
+            "bare-devid-unbind", "high",
+            "Unbind:DevId lets anyone holding the ID revoke the binding",
+        ))
+    if design.rebind_replaces_existing and design.unbind_supported:
+        findings.append(Finding(
+            "silent-rebind", "medium",
+            "a new Bind silently replaces the existing binding",
+        ))
+
+    # Lesson 4: never hand the user's account credential to the device.
+    if design.bind_sender is BindSender.DEVICE and design.bind_schema.value == "acl":
+        findings.append(Finding(
+            "credential-on-device", "high",
+            "the user's UserId/UserPw is delivered to the device during "
+            "local configuration; a compromised device leaks the account",
+        ))
+
+    # ID hygiene (Section VII opening).
+    if design.id_scheme == "mac-address":
+        findings.append(Finding(
+            "mac-derived-id", "medium",
+            "MAC-derived IDs leave a 3-byte search space once the OUI is known",
+        ))
+    elif design.id_scheme == "serial-number" and design.id_serial_digits <= 7:
+        findings.append(Finding(
+            "short-serial-id", "high",
+            f"{design.id_serial_digits}-digit serials are enumerable within "
+            "an hour at realistic request rates",
+        ))
+    if design.id_label_on_device:
+        findings.append(Finding(
+            "id-on-label", "medium",
+            "the device ID is printed on the device/package and leaks "
+            "through ownership transfer and the supply chain",
+        ))
+
+    return findings
+
+
+def render_findings(design: VendorDesign) -> str:
+    """All findings for one design as text."""
+    findings = check_design(design)
+    if not findings:
+        return f"{design.name}: no findings"
+    lines = [f"{design.name}: {len(findings)} finding(s)"]
+    lines.extend("  " + finding.line() for finding in findings)
+    return "\n".join(lines)

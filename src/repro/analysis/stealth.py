@@ -1,0 +1,112 @@
+"""Attack detectability: how stealthy is each attack, really?
+
+The paper's abstract promises "stealthy device control"; this module
+makes stealthiness measurable.  For a given design, it runs an attack
+and then asks: *what could the victim observe?*  Two observation
+channels exist:
+
+* the **notification feed** (if the vendor runs one — no studied vendor
+  does), which reports binding changes and offline transitions;
+* **app symptoms**: the next time the victim opens her app, do her
+  requests fail (device gone / not-bound errors)?
+
+An attack is *stealthy* if it succeeds while producing no notification
+and no immediate app symptom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.runner import ATTACKS, prepare_state
+from repro.cloud.policy import VendorDesign
+from repro.core.errors import RequestRejected
+from repro.scenario import Deployment
+
+
+@dataclass
+class DetectionReport:
+    """What the victim could observe after one attack."""
+
+    attack_id: str
+    vendor: str
+    attack_outcome: str
+    notifications: List[str] = field(default_factory=list)
+    app_symptom: str = "none"     # "none" | "query-fails" | "control-fails"
+
+    @property
+    def detectable(self) -> bool:
+        return bool(self.notifications) or self.app_symptom != "none"
+
+    @property
+    def stealthy_success(self) -> bool:
+        return self.attack_outcome == "yes" and not self.detectable
+
+    def line(self) -> str:
+        notes = ",".join(self.notifications) or "-"
+        return (
+            f"{self.attack_id:<5} outcome={self.attack_outcome:<4} "
+            f"notifications={notes:<34} symptom={self.app_symptom}"
+        )
+
+
+def probe_attack_detectability(design: VendorDesign, attack_id: str,
+                               seed: int = 0) -> DetectionReport:
+    """Run *attack_id* and measure what the victim could see afterwards."""
+    attack_fn, targeted_state = ATTACKS[attack_id]
+    deployment = Deployment(design, seed=seed)
+    attacker = RemoteAttacker(deployment)
+    attacker.login()
+    prepare_state(deployment, targeted_state)
+    if targeted_state == "control" and design.notifies_user:
+        deployment.victim.app.poll_events()  # drain setup-time events
+
+    report_obj = attack_fn(deployment, attacker)
+    detection = DetectionReport(
+        attack_id=attack_id,
+        vendor=design.name,
+        attack_outcome=report_obj.outcome.value,
+    )
+    if targeted_state != "control":
+        # pre-binding attacks have no bound victim to notify yet
+        return detection
+
+    deployment.run_heartbeats(2)
+    victim = deployment.victim
+    if design.notifies_user:
+        detection.notifications = [
+            event["kind"] for event in victim.app.poll_events()
+        ]
+    try:
+        victim.app.query(victim.device.device_id)
+    except RequestRejected:
+        detection.app_symptom = "query-fails"
+        return detection
+    try:
+        victim.app.control(victim.device.device_id, "detect-probe")
+    except RequestRejected:
+        detection.app_symptom = "control-fails"
+    return detection
+
+
+def stealth_survey(design: VendorDesign, seed: int = 0) -> List[DetectionReport]:
+    """Detectability of every control-state attack against *design*."""
+    return [
+        probe_attack_detectability(design, attack_id, seed=seed)
+        for attack_id, (_fn, state) in ATTACKS.items()
+        if state == "control"
+    ]
+
+
+def render_survey(design: VendorDesign, reports: List[DetectionReport]) -> str:
+    """Detectability table plus the stealthy-success verdict."""
+    feed = "with notification feed" if design.notifies_user else "no notifications"
+    lines = [f"detectability on {design.name} ({feed}):"]
+    lines.extend("  " + report.line() for report in reports)
+    stealthy = [r.attack_id for r in reports if r.stealthy_success]
+    lines.append(
+        f"  => stealthy successful attacks: {', '.join(stealthy) if stealthy else 'none'}"
+    )
+    return "\n".join(lines)

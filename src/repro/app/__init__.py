@@ -1,0 +1,5 @@
+"""User-side agents: the companion mobile app."""
+
+from repro.app.mobile import KnownDevice, MobileApp
+
+__all__ = ["KnownDevice", "MobileApp"]

@@ -1,0 +1,157 @@
+"""IFTTT-style automation rules (the paper's cascade-effect surface).
+
+Section V-B: "it will have a cascade effect when data from the device is
+involved in rules (e.g., IFTTT).  For instance, when an air conditioning
+system is associated with a temperature sensor, fake data of the sensor
+may turn on or turn off the air conditioning system."
+
+The engine runs *user-side* (like the IFTTT applets the paper cites): it
+polls the trigger device's telemetry through the user's app and fires
+control commands at the action device.  Because it trusts cloud-stored
+telemetry, an A1 injection against the sensor propagates into physical
+actions — which is exactly what the cascade tests and the
+``automation_cascade`` example demonstrate.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.app.mobile import MobileApp
+from repro.core.errors import ConfigurationError, RequestRejected
+from repro.sim.environment import Environment
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """IF <metric> <op> <threshold> on trigger THEN <command> on action."""
+
+    name: str
+    trigger_device: str
+    metric: str
+    op: str
+    threshold: Any
+    action_device: str
+    command: str
+    arguments: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown operator {self.op!r}"
+            )
+
+    def matches(self, telemetry: Optional[Mapping[str, Any]]) -> bool:
+        """Whether the trigger condition holds for *telemetry*."""
+        if not telemetry or self.metric not in telemetry:
+            return False
+        try:
+            return _OPERATORS[self.op](telemetry[self.metric], self.threshold)
+        except TypeError:
+            return False
+
+
+@dataclass
+class Firing:
+    """One rule activation, for audit and tests."""
+
+    time: float
+    rule: str
+    observed: Any
+    command: str
+    delivered: bool
+
+
+class AutomationEngine:
+    """Evaluates rules against cloud telemetry through one user's app."""
+
+    def __init__(self, env: Environment, app: MobileApp,
+                 poll_interval: float = 5.0) -> None:
+        self.env = env
+        self.app = app
+        self.poll_interval = poll_interval
+        self.rules: List[Rule] = []
+        self.firings: List[Firing] = []
+        self._handle = None
+        #: edge-triggering: a rule re-fires only after its condition
+        #: went false in between (like IFTTT applets).
+        self._armed: Dict[str, bool] = {}
+
+    # -- rule management -----------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Install a rule; names must be unique."""
+        if any(r.name == rule.name for r in self.rules):
+            raise ConfigurationError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        self._armed[rule.name] = True
+
+    def remove_rule(self, name: str) -> bool:
+        """Uninstall a rule by name; returns whether it existed."""
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if r.name != name]
+        self._armed.pop(name, None)
+        return len(self.rules) != before
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate_once(self) -> List[Firing]:
+        """One polling pass over all rules; returns the new firings."""
+        new: List[Firing] = []
+        for rule in self.rules:
+            telemetry = self._read_telemetry(rule.trigger_device)
+            holds = rule.matches(telemetry)
+            if not holds:
+                self._armed[rule.name] = True
+                continue
+            if not self._armed[rule.name]:
+                continue  # still latched from the previous firing
+            self._armed[rule.name] = False
+            delivered = self._fire(rule)
+            firing = Firing(
+                time=self.env.now,
+                rule=rule.name,
+                observed=(telemetry or {}).get(rule.metric),
+                command=rule.command,
+                delivered=delivered,
+            )
+            self.firings.append(firing)
+            new.append(firing)
+        return new
+
+    def start(self) -> None:
+        """Poll periodically on the simulation clock."""
+        if self._handle is None:
+            self._handle = self.env.every(self.poll_interval, self.evaluate_once)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _read_telemetry(self, device_id: str) -> Optional[Mapping[str, Any]]:
+        try:
+            response = self.app.query(device_id)
+        except RequestRejected:
+            return None
+        return response.payload.get("telemetry")
+
+    def _fire(self, rule: Rule) -> bool:
+        try:
+            self.app.control(rule.action_device, rule.command, rule.arguments)
+            return True
+        except RequestRejected:
+            return False

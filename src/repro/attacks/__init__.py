@@ -1,0 +1,62 @@
+"""The attacker toolkit: forgery, ID inference, and the A1–A4 attacks."""
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.campaign import (
+    CampaignReport,
+    campaign_binding_dos,
+    campaign_mass_unbind,
+)
+from repro.attacks.data_attacks import attack_data_injection_and_stealing
+from repro.attacks.dos import attack_binding_dos
+from repro.attacks.hijacking import (
+    attack_hijack_rebind,
+    attack_hijack_unbind_then_bind,
+    attack_hijack_window,
+)
+from repro.attacks.id_inference import ProbeStats, enumerate_ids, probe_device_id, targeted_search
+from repro.attacks.results import AttackReport, Outcome
+from repro.attacks.runner import ATTACK_IDS, ATTACKS, run_all_attacks, run_attack
+from repro.attacks.traffic_analysis import (
+    ForgeryPlaybook,
+    analyze_own_traffic,
+    craft_foreign_bind,
+    differing_fields,
+    locate_id_field,
+)
+from repro.attacks.unbinding import (
+    attack_unbind_type1,
+    attack_unbind_type2,
+    attack_unbind_via_rebind,
+    attack_unbind_via_status,
+)
+
+__all__ = [
+    "ATTACKS",
+    "ATTACK_IDS",
+    "AttackReport",
+    "CampaignReport",
+    "ForgeryPlaybook",
+    "analyze_own_traffic",
+    "campaign_binding_dos",
+    "campaign_mass_unbind",
+    "craft_foreign_bind",
+    "differing_fields",
+    "locate_id_field",
+    "Outcome",
+    "ProbeStats",
+    "RemoteAttacker",
+    "attack_binding_dos",
+    "attack_data_injection_and_stealing",
+    "attack_hijack_rebind",
+    "attack_hijack_unbind_then_bind",
+    "attack_hijack_window",
+    "attack_unbind_type1",
+    "attack_unbind_type2",
+    "attack_unbind_via_rebind",
+    "attack_unbind_via_status",
+    "enumerate_ids",
+    "probe_device_id",
+    "run_all_attacks",
+    "run_attack",
+    "targeted_search",
+]

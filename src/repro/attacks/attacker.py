@@ -1,0 +1,182 @@
+"""The remote attacker: a legitimate customer with forged messages.
+
+Per the adversary model (Section III-A) the attacker
+
+* holds a valid account of the same vendor (and owns their own unit of
+  the product, used to analyse the app's traffic with a MITM proxy);
+* knows the victim's device ID (inferred/enumerated or leaked through
+  ownership transfer — ``learn_victim_device_id`` represents that);
+* has **no** access to the victim's LAN, the device firmware on the
+  victim's unit, or the victim's phone.
+
+Forgery capabilities are asymmetric, exactly as in the paper:
+
+* *app-protocol* messages (Bind/Unbind/Control as the app sends them)
+  can always be crafted — the attacker MITMs their own phone and
+  replays modified requests (Postman/Frida, Section VI-A);
+* *device-protocol* messages (Status/DeviceFetch, device-origin
+  Bind/Unbind) require protocol knowledge from firmware reverse
+  engineering, available for only some vendors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.app.mobile import MobileApp
+from repro.cloud.policy import BindSender
+from repro.core.errors import RequestRejected
+from repro.core.messages import (
+    BindMessage,
+    ControlMessage,
+    DeviceFetch,
+    Message,
+    Origin,
+    Response,
+    StatusMessage,
+    UnbindMessage,
+)
+from repro.device.firmware import ProtocolKnowledge, try_reverse_engineer
+from repro.net.mitm import MitmProxy
+from repro.scenario import Deployment
+
+
+class RemoteAttacker:
+    """Attack tooling bound to one deployment."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self.design = deployment.design
+        self.network = deployment.network
+        self.cloud_node = deployment.cloud.node_name
+        self.party = deployment.attacker_party
+        self.app: MobileApp = self.party.app
+        #: Node the attacker's forged traffic originates from: their own
+        #: host behind their own AP (never the victim's network).
+        self.node = self.app.node_name
+        self.victim_device_id: Optional[str] = None
+        self.protocol: Optional[ProtocolKnowledge] = try_reverse_engineer(self.design)
+        self.proxy = MitmProxy(name="attacker-proxy")
+        self.network.set_proxy(self.node, self.proxy)
+        self.stolen: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # knowledge acquisition
+    # ------------------------------------------------------------------
+
+    def login(self) -> str:
+        """The attacker is a legitimate, logged-in customer."""
+        if self.app.user_token is None:
+            self.app.login()
+        return self.app.user_token
+
+    def learn_victim_device_id(self, device_id: str) -> None:
+        """Record the victim's ID (supply-chain leak / label copy /
+        enumeration — see ``repro.attacks.id_inference``)."""
+        self.victim_device_id = device_id
+
+    def require_victim_id(self) -> str:
+        if self.victim_device_id is None:
+            raise RuntimeError("attack script must call learn_victim_device_id first")
+        return self.victim_device_id
+
+    @property
+    def can_forge_device_messages(self) -> bool:
+        """Device-protocol forgery needs firmware-derived knowledge."""
+        return self.protocol is not None
+
+    @property
+    def knows_status_design(self) -> bool:
+        """Whether the analyst determined how status messages authenticate
+        (Table III's Status column is "O" when they could not)."""
+        return self.design.device_auth_known is not None
+
+    # ------------------------------------------------------------------
+    # message forgery (Postman / Frida analogues)
+    # ------------------------------------------------------------------
+
+    def forge_status(self, telemetry: Optional[Mapping[str, Any]] = None,
+                     is_registration: bool = False) -> StatusMessage:
+        """Craft a Status message claiming to be the victim's device."""
+        return StatusMessage(
+            device_id=self.require_victim_id(),
+            model=self.design.device_type,
+            firmware_version="forged",
+            telemetry=dict(telemetry or {}),
+            is_registration=is_registration,
+        )
+
+    def forge_fetch(self) -> DeviceFetch:
+        """Craft a DeviceFetch claiming to be the victim's device."""
+        return DeviceFetch(device_id=self.require_victim_id())
+
+    def forge_bind(self) -> BindMessage:
+        """Craft a Bind pairing the attacker's identity with the victim's
+        device, in whatever shape this vendor's protocol uses."""
+        self.login()
+        if self.design.bind_sender is BindSender.DEVICE:
+            return BindMessage(
+                device_id=self.require_victim_id(),
+                user_id=self.party.user_id,
+                user_pw=self.party.password,
+                origin=Origin.DEVICE,
+            )
+        return BindMessage(
+            device_id=self.require_victim_id(),
+            user_token=self.app.user_token,
+        )
+
+    def forge_unbind_type1(self) -> UnbindMessage:
+        """Unbind:(DevId, UserToken) with the *attacker's* token."""
+        self.login()
+        return UnbindMessage(
+            device_id=self.require_victim_id(), user_token=self.app.user_token
+        )
+
+    def forge_unbind_type2(self) -> UnbindMessage:
+        """Unbind:DevId — the bare device-reset message."""
+        return UnbindMessage(device_id=self.require_victim_id(), origin=Origin.DEVICE)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> Tuple[bool, str, Optional[Response]]:
+        """Fire a forged request at the cloud from the attacker's host.
+
+        Returns ``(accepted, code, response)`` — the paper identifies
+        attack failures from exactly these response codes.
+        """
+        try:
+            response = self.network.request(self.node, self.cloud_node, message)
+        except RequestRejected as exc:
+            return False, exc.code, None
+        if isinstance(response, Response):
+            return True, "ok", response
+        return True, "ok", None
+
+    def control_victim_device(self, command: str = "attacker-on") -> Tuple[bool, str]:
+        """Issue a control command for the victim's device under the
+        attacker's *own* account (only works if the attacker is bound)."""
+        self.login()
+        message = ControlMessage(
+            user_token=self.app.user_token,
+            device_id=self.require_victim_id(),
+            command=command,
+            post_binding_token=self._own_post_token(),
+        )
+        accepted, code, _ = self.send(message)
+        return accepted, code
+
+    def _own_post_token(self) -> Optional[str]:
+        """The post-binding token the cloud returned to *the attacker's*
+        binding, if any (it is never the one the device holds)."""
+        return self.stolen.get("post_binding_token")
+
+    def note_bind_response(self, response: Optional[Response]) -> None:
+        """Remember tokens returned to the attacker's forged binding."""
+        if response is None:
+            return
+        token = response.payload.get("post_binding_token")
+        if token:
+            self.stolen["post_binding_token"] = token

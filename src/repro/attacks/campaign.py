@@ -1,0 +1,133 @@
+"""Product-line-wide attack campaigns (Section V-C's scalable DoS).
+
+A campaign is ID enumeration plus a per-ID attack primitive, run
+against a whole fleet.  The two campaigns here bracket the paper's
+scenarios:
+
+* :func:`campaign_binding_dos` — enumerate the sequential ID space and
+  occupy every binding *before* the customers set up ("binding
+  denial-of-service to the entire product series");
+* :func:`campaign_mass_unbind` — against an already-deployed fleet on
+  an unchecked-unbind vendor, revoke every customer's binding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.errors import RequestRejected
+from repro.core.messages import BindMessage, UnbindMessage
+from repro.fleet import FleetDeployment
+
+
+@dataclass
+class CampaignReport:
+    """Fleet-wide damage assessment."""
+
+    campaign: str
+    vendor: str
+    households: int
+    ids_probed: int
+    ids_hit: int
+    victims_denied: int
+    modelled_seconds: float
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def denial_rate(self) -> float:
+        return self.victims_denied / self.households if self.households else 0.0
+
+    def render(self) -> str:
+        """Multi-line damage summary."""
+        lines = [
+            f"campaign {self.campaign!r} against {self.vendor} "
+            f"({self.households} households)",
+            f"  IDs probed: {self.ids_probed}  hits: {self.ids_hit}  "
+            f"modelled time: {self.modelled_seconds:.1f}s",
+            f"  customers denied service: {self.victims_denied}/{self.households} "
+            f"({self.denial_rate:.0%})",
+        ]
+        lines.extend(f"  {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+def _send(fleet: FleetDeployment, message) -> tuple:
+    try:
+        fleet.network.request("attacker:host", fleet.cloud.node_name, message)
+        return True, "ok"
+    except RequestRejected as exc:
+        return False, exc.code
+
+
+def campaign_binding_dos(
+    fleet: FleetDeployment, max_probes: int = 256, request_rate: float = 3000.0
+) -> CampaignReport:
+    """Occupy the whole product series before customers bind.
+
+    Sweeps the ID space in order, sending a Bind for every candidate.
+    Then every household attempts its normal setup; a household counts
+    as denied if the flow fails end to end.
+    """
+    token = fleet.attacker_token()
+    probed = hits = 0
+    for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
+        probed += 1
+        accepted, code = _send(
+            fleet, BindMessage(device_id=candidate, user_token=token)
+        )
+        if accepted or code != "unknown-device":
+            hits += 1
+
+    denied = 0
+    details = []
+    for household in fleet.households:
+        ok = fleet.setup_household(household)
+        if not ok:
+            denied += 1
+            details.append(f"{household.user_id}: setup DENIED")
+    return CampaignReport(
+        campaign="binding-dos",
+        vendor=fleet.design.name,
+        households=len(fleet.households),
+        ids_probed=probed,
+        ids_hit=hits,
+        victims_denied=denied,
+        modelled_seconds=probed / request_rate,
+        details=details,
+    )
+
+
+def campaign_mass_unbind(
+    fleet: FleetDeployment, max_probes: int = 256, request_rate: float = 3000.0
+) -> CampaignReport:
+    """Revoke every deployed customer's binding (A3-2 at fleet scale).
+
+    Requires an already-set-up fleet; effective only on vendors whose
+    Type-1 unbind skips the bound-user check.
+    """
+    token = fleet.attacker_token()
+    probed = hits = 0
+    for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
+        probed += 1
+        accepted, _ = _send(
+            fleet, UnbindMessage(device_id=candidate, user_token=token)
+        )
+        if accepted:
+            hits += 1
+
+    denied = sum(
+        1
+        for household in fleet.households
+        if fleet.cloud.bound_user_of(household.device.device_id) != household.user_id
+    )
+    return CampaignReport(
+        campaign="mass-unbind",
+        vendor=fleet.design.name,
+        households=len(fleet.households),
+        ids_probed=probed,
+        ids_hit=hits,
+        victims_denied=denied,
+        modelled_seconds=probed / request_rate,
+    )

@@ -1,0 +1,99 @@
+"""A1: data injection and stealing (Section V-B).
+
+The attacker forges *device* messages with the victim's device ID:
+
+* **injection** — a forged Status carries fake telemetry, which the
+  cloud stores and the victim's app reads back (the fire-alarm /
+  IFTTT-cascade examples);
+* **stealing** — a forged DeviceFetch returns data meant for the
+  device, e.g. the on/off schedule the victim configured (the paper's
+  smart-plug/smart-lock example on device #10).
+
+Preconditions mirror the paper's: the attacker must know the status
+authentication design (Table III "O" rows are UNCONFIRMED), the design
+must be forgeable (DevId, not DevToken), and device-protocol knowledge
+requires an available firmware image.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.results import AttackReport, Outcome
+from repro.cloud.policy import DeviceAuthMode
+from repro.core.messages import Response
+from repro.scenario import Deployment
+
+FAKE_TELEMETRY: Dict[str, Any] = {"power_w": 9999.0, "forged": True}
+
+
+def attack_data_injection_and_stealing(
+    deployment: Deployment, attacker: RemoteAttacker
+) -> AttackReport:
+    """Run A1 against a victim in the control state."""
+    design = deployment.design
+    vendor = design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+
+    # -- feasibility gates (the paper's "O" and DevToken cells) ----------
+    if not attacker.knows_status_design:
+        return AttackReport(
+            "A1", vendor, Outcome.UNCONFIRMED,
+            "status authentication undetermined without firmware",
+        )
+    if design.device_auth_known is DeviceAuthMode.DEV_TOKEN:
+        return AttackReport(
+            "A1", vendor, Outcome.FAILED,
+            "DevToken authentication: the random token cannot be forged",
+        )
+    if design.device_auth_known is DeviceAuthMode.PUBKEY:
+        return AttackReport(
+            "A1", vendor, Outcome.FAILED,
+            "signed status messages cannot be forged without the private key",
+        )
+    if not attacker.can_forge_device_messages:
+        return AttackReport(
+            "A1", vendor, Outcome.UNCONFIRMED,
+            "no firmware image: device message format unknown",
+        )
+
+    evidence: Dict[str, Any] = {}
+
+    # -- injection: forged telemetry surfaces in the victim's app ---------
+    accepted, code, _ = attacker.send(attacker.forge_status(FAKE_TELEMETRY))
+    injected = False
+    if accepted:
+        query = deployment.victim.app.query(deployment.victim.device.device_id)
+        telemetry = query.payload.get("telemetry") or {}
+        injected = telemetry.get("forged") is True
+        evidence["victim_sees"] = telemetry
+
+    # -- stealing: forged fetch returns the victim's schedule --------------
+    stolen = False
+    fetch_ok, fetch_code, response = attacker.send(attacker.forge_fetch())
+    if fetch_ok and isinstance(response, Response):
+        schedule = response.payload.get("schedule")
+        if schedule:
+            attacker.stolen["schedule"] = schedule
+            stolen = True
+            evidence["stolen_schedule"] = schedule
+
+    if injected or stolen:
+        what = " and ".join(
+            label for label, flag in (("injection", injected), ("stealing", stolen)) if flag
+        )
+        return AttackReport(
+            "A1", vendor, Outcome.SUCCESS, f"forged device messages achieved {what}",
+            evidence,
+        )
+    if not accepted and not fetch_ok:
+        return AttackReport(
+            "A1", vendor, Outcome.FAILED, f"cloud rejected forged device messages ({code})",
+            evidence,
+        )
+    return AttackReport(
+        "A1", vendor, Outcome.FAILED,
+        "forged messages accepted but the channel carries no user data",
+        evidence,
+    )

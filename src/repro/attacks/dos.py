@@ -1,0 +1,56 @@
+"""A2: binding denial-of-service (Section V-C).
+
+Before the victim ever binds her device (the shadow's *initial* state),
+the attacker submits a Bind pairing the attacker's account with the
+victim's device ID.  If the cloud accepts it, the victim's own setup
+later fails — she cannot create a binding with her own device.
+
+The attack *fails* when the cloud refuses the foreign binding (Philips'
+IP-match, TP-LINK's online-device requirement) or when it accepts it
+but a later legitimate binding simply replaces it (KONKE's
+revocation-by-replacement, which ironically makes it immune to A2).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.results import AttackReport, Outcome
+from repro.cloud.policy import BindSender
+from repro.scenario import Deployment
+
+
+def attack_binding_dos(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """Run A2 against a factory-fresh victim device (initial state)."""
+    vendor = deployment.design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+
+    if deployment.design.bind_sender is BindSender.DEVICE and not attacker.can_forge_device_messages:
+        return AttackReport(
+            "A2", vendor, Outcome.UNCONFIRMED,
+            "device-initiated binding and no firmware to craft it",
+        )
+
+    accepted, code, response = attacker.send(attacker.forge_bind())
+    if not accepted:
+        return AttackReport(
+            "A2", vendor, Outcome.FAILED, f"cloud rejected the foreign binding ({code})"
+        )
+    attacker.note_bind_response(response)
+
+    # The occupation exists; now the ground truth: can the victim still
+    # complete her own setup?
+    victim_ok = deployment.victim_full_setup()
+    if victim_ok:
+        return AttackReport(
+            "A2", vendor, Outcome.FAILED,
+            "binding accepted but the victim's setup replaced it (no DoS)",
+            {"bound_user": deployment.bound_user()},
+        )
+    return AttackReport(
+        "A2", vendor, Outcome.SUCCESS,
+        "victim can no longer bind her own device",
+        {
+            "bound_user": deployment.bound_user(),
+            "victim_setup_succeeded": victim_ok,
+        },
+    )

@@ -1,0 +1,113 @@
+"""A4: device hijacking — absolute control of the victim's device
+(Section V-E).
+
+* **A4-1** (control state): a Bind that replaces the victim's binding;
+  under DevId authentication the real device keeps its cloud session,
+  so the cloud now relays the *attacker's* commands to it.
+* **A4-2** (online state): bind during the victim's setup window,
+  before she does — only app-initiated designs have such a window.
+* **A4-3** (control state): chain a successful unbinding (A3-1/A3-2)
+  with a bind in the resulting online state.
+
+All variants die on DevToken designs (the device never receives the
+attacker's fresh token, Section V-E) and on post-binding-token designs
+(the device never confirms the attacker's binding, Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.results import AttackReport, Outcome
+from repro.cloud.policy import BindSender
+from repro.scenario import Deployment
+
+
+def _attempt_control(deployment: Deployment, attacker: RemoteAttacker,
+                     command: str) -> bool:
+    """Ground truth: does the victim's physical device execute the
+    attacker's command?"""
+    before = len(deployment.victim.device.executed_commands)
+    attacker.control_victim_device(command)
+    deployment.run_heartbeats(2)
+    return any(
+        c.issued_by == attacker.party.user_id and c.command == command
+        for c in deployment.victim.device.executed_commands[before:]
+    )
+
+
+def _bind_and_control(deployment: Deployment, attacker: RemoteAttacker,
+                      attack_id: str, command: str) -> AttackReport:
+    """Shared tail: forge the bind, then try to drive the real device."""
+    vendor = deployment.design.name
+    if deployment.design.bind_sender is BindSender.DEVICE and not attacker.can_forge_device_messages:
+        return AttackReport(
+            attack_id, vendor, Outcome.UNCONFIRMED,
+            "device-initiated binding and no firmware to craft it",
+        )
+    accepted, code, response = attacker.send(attacker.forge_bind())
+    if not accepted:
+        return AttackReport(attack_id, vendor, Outcome.FAILED, f"bind rejected ({code})")
+    attacker.note_bind_response(response)
+    if deployment.bound_user() != attacker.party.user_id:
+        return AttackReport(
+            attack_id, vendor, Outcome.FAILED, "binding did not transfer to the attacker"
+        )
+    if _attempt_control(deployment, attacker, command):
+        return AttackReport(
+            attack_id, vendor, Outcome.SUCCESS,
+            "victim's device executes attacker-issued commands",
+            {"executed": command},
+        )
+    return AttackReport(
+        attack_id, vendor, Outcome.FAILED,
+        "attacker bound but the device does not follow "
+        "(token rotation or missing post-binding confirmation)",
+    )
+
+
+def attack_hijack_rebind(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A4-1: replace the binding while the victim is in control."""
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    return _bind_and_control(deployment, attacker, "A4-1", "a4-1-takeover")
+
+
+def attack_hijack_window(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A4-2: bind first during the victim's setup window (online state).
+
+    The deployment must be prepared with
+    ``victim_partial_setup_online_unbound``.
+    """
+    vendor = deployment.design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    if deployment.design.bind_sender is BindSender.DEVICE:
+        return AttackReport(
+            "A4-2", vendor, Outcome.NOT_APPLICABLE,
+            "device-initiated binding is atomic with registration: no window",
+        )
+    return _bind_and_control(deployment, attacker, "A4-2", "a4-2-takeover")
+
+
+def attack_hijack_unbind_then_bind(
+    deployment: Deployment, attacker: RemoteAttacker
+) -> AttackReport:
+    """A4-3: revoke the victim's binding, then bind in the online state."""
+    vendor = deployment.design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+
+    unbound = False
+    step1_code: Optional[str] = None
+    # Step 1: any unbinding primitive that works (the paper chains A3-1).
+    if deployment.design.unbind_accepts_bare_dev_id and attacker.can_forge_device_messages:
+        accepted, step1_code, _ = attacker.send(attacker.forge_unbind_type2())
+        unbound = accepted
+    if not unbound:
+        accepted, step1_code, _ = attacker.send(attacker.forge_unbind_type1())
+        unbound = accepted
+    if not unbound:
+        return AttackReport(
+            "A4-3", vendor, Outcome.FAILED, f"no unbinding primitive works ({step1_code})"
+        )
+    # The device is now in the online state; step 2 is a fresh bind.
+    return _bind_and_control(deployment, attacker, "A4-3", "a4-3-takeover")

@@ -1,0 +1,100 @@
+"""Attack runner: fresh deployment + correct targeted state + dispatch.
+
+Table II ties every attack to the shadow state it targets; the runner
+prepares exactly that state before launching, in a *fresh* simulated
+world per attempt, so attacks never contaminate each other — the paper
+likewise reset devices between experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.data_attacks import attack_data_injection_and_stealing
+from repro.attacks.dos import attack_binding_dos
+from repro.attacks.hijacking import (
+    attack_hijack_rebind,
+    attack_hijack_unbind_then_bind,
+    attack_hijack_window,
+)
+from repro.attacks.results import AttackReport, Outcome
+from repro.attacks.unbinding import (
+    attack_unbind_type1,
+    attack_unbind_type2,
+    attack_unbind_via_rebind,
+    attack_unbind_via_status,
+)
+from repro.cloud.policy import BindSender, VendorDesign
+from repro.core.errors import AttackPreconditionError
+from repro.scenario import Deployment
+
+AttackFn = Callable[[Deployment, RemoteAttacker], AttackReport]
+
+#: attack id -> (implementation, targeted state)
+ATTACKS: Dict[str, Tuple[AttackFn, str]] = {
+    "A1": (attack_data_injection_and_stealing, "control"),
+    "A2": (attack_binding_dos, "initial"),
+    "A3-1": (attack_unbind_type2, "control"),
+    "A3-2": (attack_unbind_type1, "control"),
+    "A3-3": (attack_unbind_via_rebind, "control"),
+    "A3-4": (attack_unbind_via_status, "control"),
+    "A4-1": (attack_hijack_rebind, "control"),
+    "A4-2": (attack_hijack_window, "online"),
+    "A4-3": (attack_hijack_unbind_then_bind, "control"),
+}
+
+ATTACK_IDS: List[str] = list(ATTACKS)
+
+#: The victim's smart-plug schedule used as the A1 stealing target
+#: (the paper sets exactly such a schedule on device #10).
+VICTIM_SCHEDULE = {"on": "19:00", "off": "23:00"}
+
+
+def prepare_state(deployment: Deployment, targeted_state: str) -> None:
+    """Drive the victim's shadow into the attack's targeted state."""
+    if targeted_state == "initial":
+        return  # factory fresh
+    if targeted_state == "online":
+        deployment.victim_partial_setup_online_unbound()
+        if deployment.shadow_state() != "online":
+            raise AttackPreconditionError(
+                f"expected online state, got {deployment.shadow_state()}"
+            )
+        return
+    if targeted_state == "control":
+        if not deployment.victim_full_setup():
+            raise AttackPreconditionError(
+                f"victim setup failed on {deployment.design.name}; "
+                "cannot stage a control-state attack"
+            )
+        deployment.victim.app.set_schedule(
+            deployment.victim.device.device_id, VICTIM_SCHEDULE
+        )
+        return
+    raise AttackPreconditionError(f"unknown targeted state {targeted_state!r}")
+
+
+def run_attack(design: VendorDesign, attack_id: str, seed: int = 0) -> AttackReport:
+    """Run one attack against one vendor in a fresh world."""
+    try:
+        attack_fn, targeted_state = ATTACKS[attack_id]
+    except KeyError:
+        raise AttackPreconditionError(f"unknown attack {attack_id!r}") from None
+    if attack_id == "A4-2" and design.bind_sender is BindSender.DEVICE:
+        # Device-initiated binding is atomic with registration: the
+        # "online, unbound" setup window A4-2 exploits never exists.
+        return AttackReport(
+            "A4-2", design.name, Outcome.NOT_APPLICABLE,
+            "device-initiated binding is atomic with registration: no window",
+        )
+    deployment = Deployment(design, seed=seed)
+    attacker = RemoteAttacker(deployment)
+    attacker.login()
+    prepare_state(deployment, targeted_state)
+    return attack_fn(deployment, attacker)
+
+
+def run_all_attacks(design: VendorDesign, seed: int = 0) -> Dict[str, AttackReport]:
+    """Run the full A1–A4-3 battery against one vendor."""
+    return {attack_id: run_attack(design, attack_id, seed) for attack_id in ATTACK_IDS}

@@ -1,0 +1,118 @@
+"""Traffic analysis of one's *own* app: the paper's methodology.
+
+Section VI-A: "we first identify the binding and unbinding messages
+through manual dynamic analysis of the apps ... To capture and analyze
+the HTTP/HTTPS messages from the attacker's app, we use a
+Man-in-the-Middle proxy" and "device IDs can be observed from the
+traffic or be easily obtained with a differential analysis of the
+messages".
+
+This module automates that workflow against the simulation: run the
+setup flow for the attacker's *own* device behind a MITM proxy, lift
+the message shapes out of the capture, and locate the device-ID field
+by differential analysis across two observed instances.  The output is
+a :class:`ForgeryPlaybook` — exactly the knowledge the attack modules
+assume when they call ``forge_bind``/``forge_unbind_*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import List, Optional, Set
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.core.messages import BindMessage, Message, UnbindMessage
+from repro.scenario import Deployment
+
+
+def differing_fields(a: Message, b: Message) -> Set[str]:
+    """Differential analysis: which wire fields vary between two
+    observations of the same message type?"""
+    if type(a) is not type(b):
+        raise TypeError("differential analysis needs two messages of one type")
+    return {
+        f.name
+        for f in dataclass_fields(a)
+        if getattr(a, f.name) != getattr(b, f.name)
+    }
+
+
+def locate_id_field(message: Message, known_id: str) -> Optional[str]:
+    """Find the field carrying a *known* identifier (the analyst reads
+    their own device's label and matches it against the capture)."""
+    for f in dataclass_fields(message):
+        if getattr(message, f.name) == known_id:
+            return f.name
+    return None
+
+
+@dataclass
+class ForgeryPlaybook:
+    """What app-traffic analysis yields: the shapes to replay."""
+
+    vendor: str
+    bind_shape: Optional[str] = None       # e.g. "Bind:(DevId,UserToken)"
+    unbind_shape: Optional[str] = None
+    id_field: Optional[str] = None         # which field carries the DevId
+    observed_types: List[str] = None
+
+    @property
+    def can_forge_bind(self) -> bool:
+        return self.bind_shape is not None and self.id_field is not None
+
+    @property
+    def can_forge_unbind(self) -> bool:
+        return self.unbind_shape is not None and self.id_field is not None
+
+
+def analyze_own_traffic(deployment: Deployment, attacker: RemoteAttacker) -> ForgeryPlaybook:
+    """Run the attacker's own setup+teardown behind the proxy and distil
+    a forgery playbook from the captured messages.
+
+    The attacker only ever observes their own phone's traffic — the
+    proxy is installed on their own node (Section VI-A's ethics).
+    """
+    from repro.core.messages import describe
+
+    party = deployment.attacker_party
+    attacker.login()
+    # Normal customer behaviour, observed through the proxy:
+    party.device.power_on()
+    party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+    try:
+        party.app.local_configure(party.device)
+    except Exception:
+        pass
+    if deployment.design.ip_match_required:
+        party.device.press_button()
+    party.app.bind_device(party.device)
+    deployment.run_heartbeats(1)
+    party.app.remove_device(party.device.device_id)
+
+    playbook = ForgeryPlaybook(vendor=deployment.design.name, observed_types=[])
+    own_id = party.device.device_id
+
+    bind = attacker.proxy.last(BindMessage)
+    if bind is not None:
+        playbook.bind_shape = describe(bind)
+        playbook.id_field = locate_id_field(bind, own_id) or playbook.id_field
+    unbind = attacker.proxy.last(UnbindMessage)
+    if unbind is not None:
+        playbook.unbind_shape = describe(unbind)
+        if playbook.id_field is None:
+            playbook.id_field = locate_id_field(unbind, own_id)
+    playbook.observed_types = sorted(
+        {type(m).__name__ for m in attacker.proxy.messages()}
+    )
+    return playbook
+
+
+def craft_foreign_bind(playbook: ForgeryPlaybook, template: BindMessage,
+                       victim_id: str) -> BindMessage:
+    """The Frida/Postman step: replay the observed bind with the victim's
+    ID substituted into the located field."""
+    if not playbook.can_forge_bind:
+        raise ValueError("playbook lacks a bind shape or an ID field")
+    values = {f.name: getattr(template, f.name) for f in dataclass_fields(template)}
+    values[playbook.id_field] = victim_id
+    return BindMessage(**values)

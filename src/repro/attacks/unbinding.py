@@ -1,0 +1,128 @@
+"""A3: device unbinding — disconnect the user from her device (Section V-D).
+
+Four variants, all targeting the *control* state:
+
+* **A3-1** ``Unbind:DevId`` — the bare reset-style revocation; anyone
+  holding the ID can fire it (when the endpoint exists).
+* **A3-2** ``Unbind:(DevId,UserToken)`` with the attacker's own token —
+  works when the cloud forgets to check that the requester is the
+  *bound* user.
+* **A3-3** a Bind that *replaces* the victim's binding — counted as A3
+  only when it yields disconnection without control (DevToken designs);
+  when it yields control it is A4-1 and the paper's A3 cell stays empty.
+* **A3-4** a forged Status that makes the cloud adopt the attacker as
+  the device's connection, disconnecting the real device.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.results import AttackReport, Outcome
+from repro.cloud.policy import DeviceAuthMode
+from repro.scenario import Deployment
+
+
+def _victim_lost_device(deployment: Deployment) -> bool:
+    """Ground truth: the victim is no longer the bound, working owner."""
+    return deployment.bound_user() != deployment.victim.user_id
+
+
+def attack_unbind_type2(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A3-1: forge the bare ``Unbind:DevId``."""
+    vendor = deployment.design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    if deployment.design.unbind_accepts_bare_dev_id and not attacker.can_forge_device_messages:
+        return AttackReport(
+            "A3-1", vendor, Outcome.UNCONFIRMED,
+            "reset-unbind is a device message and no firmware is available",
+        )
+    accepted, code, _ = attacker.send(attacker.forge_unbind_type2())
+    if accepted and _victim_lost_device(deployment):
+        return AttackReport(
+            "A3-1", vendor, Outcome.SUCCESS, "bare DevId unbind revoked the binding"
+        )
+    return AttackReport("A3-1", vendor, Outcome.FAILED, f"rejected ({code})")
+
+
+def attack_unbind_type1(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A3-2: Unbind with the attacker's own (valid) user token."""
+    vendor = deployment.design.name
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    accepted, code, _ = attacker.send(attacker.forge_unbind_type1())
+    if accepted and _victim_lost_device(deployment):
+        return AttackReport(
+            "A3-2", vendor, Outcome.SUCCESS,
+            "cloud revoked without checking the requester is the bound user",
+        )
+    return AttackReport("A3-2", vendor, Outcome.FAILED, f"rejected ({code})")
+
+
+def attack_unbind_via_rebind(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A3-3: replace the victim's binding with the attacker's."""
+    vendor = deployment.design.name
+    design = deployment.design
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    if design.bind_sender.value == "device" and not attacker.can_forge_device_messages:
+        return AttackReport(
+            "A3-3", vendor, Outcome.UNCONFIRMED,
+            "device-initiated binding and no firmware to craft it",
+        )
+    accepted, code, response = attacker.send(attacker.forge_bind())
+    if not accepted:
+        return AttackReport("A3-3", vendor, Outcome.FAILED, f"rejected ({code})")
+    attacker.note_bind_response(response)
+    if not _victim_lost_device(deployment):
+        return AttackReport(
+            "A3-3", vendor, Outcome.FAILED, "binding accepted but victim still bound"
+        )
+    # Disconnection achieved.  If the attacker can now actually drive the
+    # real device, the paper classifies this as device hijacking (A4-1).
+    deployment.run_heartbeats(2)
+    attacker.control_victim_device("a3-probe")
+    deployment.run_heartbeats(2)
+    if deployment.device_executed_for(attacker.party.user_id):
+        return AttackReport(
+            "A3-3", vendor, Outcome.ESCALATED,
+            "binding replaced AND device follows the attacker: this is A4-1",
+        )
+    return AttackReport(
+        "A3-3", vendor, Outcome.SUCCESS,
+        "binding replaced; device disconnected from the victim "
+        "(DevToken rotation keeps the attacker from controlling it)",
+    )
+
+
+def attack_unbind_via_status(deployment: Deployment, attacker: RemoteAttacker) -> AttackReport:
+    """A3-4: a forged Status makes the cloud drop the real device."""
+    vendor = deployment.design.name
+    design = deployment.design
+    attacker.learn_victim_device_id(deployment.victim.device.device_id)
+    if not attacker.knows_status_design:
+        return AttackReport(
+            "A3-4", vendor, Outcome.UNCONFIRMED,
+            "status authentication undetermined without firmware",
+        )
+    if design.device_auth_known is not DeviceAuthMode.DEV_ID:
+        return AttackReport(
+            "A3-4", vendor, Outcome.FAILED, "status messages cannot be forged"
+        )
+    if not attacker.can_forge_device_messages:
+        return AttackReport(
+            "A3-4", vendor, Outcome.UNCONFIRMED,
+            "no firmware image: device message format unknown",
+        )
+    accepted, code, _ = attacker.send(attacker.forge_status())
+    if not accepted:
+        return AttackReport("A3-4", vendor, Outcome.FAILED, f"rejected ({code})")
+    shadow = deployment.cloud.shadows.get(deployment.victim.device.device_id)
+    if shadow.connection_id == attacker.node:
+        return AttackReport(
+            "A3-4", vendor, Outcome.SUCCESS,
+            "cloud adopted the attacker as the device connection; "
+            "the real device is cut off",
+            {"connection": shadow.connection_id},
+        )
+    return AttackReport(
+        "A3-4", vendor, Outcome.FAILED,
+        "cloud kept the real device's connection alongside the forged one",
+    )

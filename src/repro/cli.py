@@ -1,0 +1,217 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table3              # the headline evaluation
+    python -m repro table2              # the attack taxonomy
+    python -m repro fig1 --vendor TP-LINK
+    python -m repro fig2 | fig3 | fig4
+    python -m repro attack "E-Link Smart" A4-1
+    python -m repro audit D-LINK        # Section VII lint for one vendor
+    python -m repro entropy             # device-ID enumerability table
+    python -m repro sweep               # design-space sweep
+    python -m repro secure              # attack the recommended designs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.core.notation import render_table_i
+
+    return render_table_i()
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.analysis.surface import render_table_ii
+
+    return render_table_ii()
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    from repro.analysis.evaluator import evaluate_all_vendors
+    from repro.analysis.export import to_csv, to_json, to_markdown
+    from repro.analysis.report import render_agreement, render_table_iii
+
+    evaluations = evaluate_all_vendors(seed=args.seed)
+    if args.format == "json":
+        return to_json(evaluations)
+    if args.format == "csv":
+        return to_csv(evaluations)
+    if args.format == "markdown":
+        return to_markdown(evaluations)
+    return render_table_iii(evaluations) + "\n\n" + render_agreement(evaluations)
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    from repro.analysis.traces import trace_lifecycle
+    from repro.vendors import vendor
+
+    return trace_lifecycle(vendor(args.vendor), seed=args.seed)
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    from repro.core.model import check_paper_properties, render_figure_2
+
+    properties = check_paper_properties()
+    checks = "\n".join(
+        f"  {name:<36} {'OK' if ok else 'VIOLATED'}"
+        for name, ok in properties.items()
+    )
+    return render_figure_2() + "\n\nmodel properties:\n" + checks
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    from repro.analysis.traces import trace_device_auth
+
+    return trace_device_auth(seed=args.seed)
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    from repro.analysis.traces import trace_binding_creation
+
+    return trace_binding_creation(seed=args.seed)
+
+
+def _cmd_attack(args: argparse.Namespace) -> str:
+    from repro.attacks.runner import run_attack
+    from repro.vendors import vendor
+
+    report = run_attack(vendor(args.vendor), args.attack_id, seed=args.seed)
+    lines = [
+        f"attack {report.attack_id} against {report.vendor}: {report.outcome.value}",
+        f"  {report.reason}",
+    ]
+    for key, value in report.evidence.items():
+        lines.append(f"  evidence {key}: {value}")
+    return "\n".join(lines)
+
+
+def _cmd_audit(args: argparse.Namespace) -> str:
+    from repro.analysis.recommendations import render_findings
+    from repro.vendors import vendor
+
+    return render_findings(vendor(args.vendor))
+
+
+def _cmd_entropy(args: argparse.Namespace) -> str:
+    from repro.identity.device_ids import MacDeviceId, RandomDeviceId, SerialDeviceId
+    from repro.identity.entropy import analyze, render_report
+
+    schemes = [
+        SerialDeviceId(digits=6),
+        SerialDeviceId(digits=7),
+        MacDeviceId("a4:77:33"),
+        RandomDeviceId(hex_chars=32),
+    ]
+    return render_report([analyze(s) for s in schemes], rate=args.rate)
+
+
+def _cmd_witness(args: argparse.Namespace) -> str:
+    from repro.analysis.protocol_model import check_safety
+    from repro.vendors import vendor
+
+    return check_safety(vendor(args.vendor)).render()
+
+
+def _cmd_fix(args: argparse.Namespace) -> str:
+    from repro.analysis.advisor import advise, verify_advice
+    from repro.vendors import vendor
+
+    advice = advise(vendor(args.vendor))
+    text = advice.render()
+    if advice.fixed_design is not None and not advice.already_secure:
+        verified = verify_advice(advice, seed=args.seed)
+        text += f"\n  simulation re-check: {'pass' if verified else 'FAIL'}"
+    return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.analysis.design_space import sweep_design_space
+
+    return sweep_design_space().render()
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.analysis.full_report import render_full_report
+
+    return render_full_report(seed=args.seed)
+
+
+def _cmd_secure(args: argparse.Namespace) -> str:
+    from repro.secure import verify_all_baselines
+
+    return "\n\n".join(v.render() for v in verify_all_baselines(seed=args.seed))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (one subcommand per artifact)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the artifacts of 'Your IoTs Are (Not) Mine' (DSN 2019)",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: notation").set_defaults(run=_cmd_table1)
+    sub.add_parser("table2", help="Table II: attack taxonomy").set_defaults(run=_cmd_table2)
+    table3 = sub.add_parser("table3", help="Table III: ten-vendor evaluation")
+    table3.add_argument("--format", choices=["text", "json", "csv", "markdown"],
+                        default="text")
+    table3.set_defaults(run=_cmd_table3)
+
+    fig1 = sub.add_parser("fig1", help="Figure 1: binding life cycle trace")
+    fig1.add_argument("--vendor", default="Belkin")
+    fig1.set_defaults(run=_cmd_fig1)
+    sub.add_parser("fig2", help="Figure 2: shadow state machine").set_defaults(run=_cmd_fig2)
+    sub.add_parser("fig3", help="Figure 3: device auth designs").set_defaults(run=_cmd_fig3)
+    sub.add_parser("fig4", help="Figure 4: binding creation designs").set_defaults(run=_cmd_fig4)
+
+    attack = sub.add_parser("attack", help="run one attack against one vendor")
+    attack.add_argument("vendor")
+    attack.add_argument("attack_id", choices=[
+        "A1", "A2", "A3-1", "A3-2", "A3-3", "A3-4", "A4-1", "A4-2", "A4-3",
+    ])
+    attack.set_defaults(run=_cmd_attack)
+
+    audit = sub.add_parser("audit", help="Section VII design lint for one vendor")
+    audit.add_argument("vendor")
+    audit.set_defaults(run=_cmd_audit)
+
+    entropy = sub.add_parser("entropy", help="device-ID enumerability table")
+    entropy.add_argument("--rate", type=float, default=3000.0,
+                         help="attacker requests per second")
+    entropy.set_defaults(run=_cmd_entropy)
+
+    witness = sub.add_parser("witness", help="model-checked attack witnesses")
+    witness.add_argument("vendor")
+    witness.set_defaults(run=_cmd_witness)
+
+    fix = sub.add_parser("fix", help="minimal redesign that closes every attack")
+    fix.add_argument("vendor")
+    fix.set_defaults(run=_cmd_fix)
+
+    sub.add_parser("sweep", help="closed-form design-space sweep").set_defaults(run=_cmd_sweep)
+    sub.add_parser("secure", help="attack the recommended designs").set_defaults(run=_cmd_secure)
+    sub.add_parser("report", help="compile every artifact into one report").set_defaults(run=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.run(args))
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The IoT cloud: accounts, registry, shadows, bindings, policy, relay."""
+
+from repro.cloud.accounts import Account, AccountStore
+from repro.cloud.audit import AuditEntry, AuditLog
+from repro.cloud.bindings import Binding, BindingStore
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.cloud.registry import DeviceRecord, DeviceRegistry
+from repro.cloud.relay import QueuedCommand, Relay, TelemetryRecord
+from repro.cloud.service import CloudService
+from repro.cloud.shadows import RegistrationMark, ShadowStore
+
+__all__ = [
+    "Account",
+    "AccountStore",
+    "AuditEntry",
+    "AuditLog",
+    "BindSchema",
+    "BindSender",
+    "Binding",
+    "BindingStore",
+    "CloudService",
+    "DeviceAuthMode",
+    "DeviceRecord",
+    "DeviceRegistry",
+    "QueuedCommand",
+    "RegistrationMark",
+    "Relay",
+    "ShadowStore",
+    "TelemetryRecord",
+    "VendorDesign",
+]

@@ -1,0 +1,70 @@
+"""Cloud-side audit log of every handled request.
+
+The paper identifies attack failures "from response messages"
+(Section VIII); the audit log is the reproduction's equivalent record —
+every request, its claimed origin, and the outcome code.  It also powers
+the Figure 1/3/4 sequence traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One handled request."""
+
+    time: float
+    source_node: str
+    source_ip: str
+    summary: str
+    outcome: str  # "ok" or a rejection code
+    detail: str = ""
+
+    def line(self) -> str:
+        """One fixed-width log line."""
+        mark = "+" if self.outcome == "ok" else "!"
+        detail = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{mark} [t={self.time:8.3f}] {self.source_node:<18} "
+            f"{self.summary:<28} -> {self.outcome}{detail}"
+        )
+
+
+class AuditLog:
+    """Append-only record of handled requests."""
+
+    def __init__(self) -> None:
+        self.entries: List[AuditEntry] = []
+
+    def record(
+        self,
+        time: float,
+        source_node: str,
+        source_ip: str,
+        summary: str,
+        outcome: str = "ok",
+        detail: str = "",
+    ) -> None:
+        self.entries.append(
+            AuditEntry(time, source_node, source_ip, summary, outcome, detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def rejected(self) -> List[AuditEntry]:
+        return [entry for entry in self.entries if entry.outcome != "ok"]
+
+    def matching(self, fragment: str) -> List[AuditEntry]:
+        return [entry for entry in self.entries if fragment in entry.summary]
+
+    def last_outcome(self, fragment: str) -> Optional[str]:
+        hits = self.matching(fragment)
+        return hits[-1].outcome if hits else None
+
+    def render(self, limit: Optional[int] = None) -> str:
+        entries = self.entries if limit is None else self.entries[-limit:]
+        return "\n".join(entry.line() for entry in entries)

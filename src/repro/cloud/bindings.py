@@ -1,0 +1,89 @@
+"""The cloud-side binding table (who may remotely reach which device).
+
+A binding pairs one device with one user (the paper restricts itself to
+one-to-one bindings; see Section III-B).  For designs with post-binding
+authorization, the binding also carries the random token returned at
+creation time and tracks whether the *device side* ever presented it —
+the check that makes remote-only bindings useless for control
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import BindingConflict
+
+
+@dataclass
+class Binding:
+    """One live user<->device binding."""
+
+    device_id: str
+    user_id: str
+    created_at: float
+    #: Random post-binding authorization token (``None`` when the design
+    #: does not use one).
+    post_token: Optional[str] = None
+    #: Set once the device has proven possession of ``post_token``
+    #: (delivered to it locally by the binding user's app).
+    device_confirmed: bool = False
+
+    def confirm_device(self, presented_token: Optional[str]) -> bool:
+        """Record the device side presenting the post-binding token."""
+        if self.post_token is not None and presented_token == self.post_token:
+            self.device_confirmed = True
+        return self.device_confirmed
+
+
+class BindingStore:
+    """Bindings indexed by device; enforces the one-binding invariant."""
+
+    def __init__(self) -> None:
+        self._by_device: Dict[str, Binding] = {}
+
+    def get(self, device_id: str) -> Optional[Binding]:
+        return self._by_device.get(device_id)
+
+    def bound_user(self, device_id: str) -> Optional[str]:
+        binding = self._by_device.get(device_id)
+        return binding.user_id if binding else None
+
+    def is_bound(self, device_id: str) -> bool:
+        return device_id in self._by_device
+
+    def devices_of(self, user_id: str) -> List[str]:
+        return sorted(
+            device_id
+            for device_id, binding in self._by_device.items()
+            if binding.user_id == user_id
+        )
+
+    def create(
+        self,
+        device_id: str,
+        user_id: str,
+        now: float,
+        post_token: Optional[str] = None,
+        replace: bool = False,
+    ) -> Binding:
+        """Create a binding; replacing an existing one requires *replace*."""
+        existing = self._by_device.get(device_id)
+        if existing is not None and not replace:
+            raise BindingConflict(
+                "already-bound", f"device {device_id!r} is bound to another user"
+            )
+        binding = Binding(device_id, user_id, now, post_token)
+        self._by_device[device_id] = binding
+        return binding
+
+    def revoke(self, device_id: str) -> Binding:
+        """Remove and return the binding; raises if none exists."""
+        try:
+            return self._by_device.pop(device_id)
+        except KeyError:
+            raise BindingConflict("not-bound", f"device {device_id!r} has no binding") from None
+
+    def count(self) -> int:
+        return len(self._by_device)

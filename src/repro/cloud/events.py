@@ -1,0 +1,50 @@
+"""User-facing event feed: the cloud tells owners what happened.
+
+None of the studied vendors notified users about binding changes —
+which is what makes the paper's attacks *stealthy* ("stealthy device
+control", Section I).  The feed is the obvious countermeasure: every
+binding-affecting action emits an event to the affected user, and the
+app can poll its inbox.  The ``notifies_user`` design knob controls
+whether a vendor runs the feed; ``repro.analysis.stealth`` measures how
+much detectability it buys against each attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class UserEvent:
+    """One notification delivered to a user's inbox."""
+
+    time: float
+    kind: str        # "binding-created" | "binding-revoked" |
+                     # "binding-replaced" | "device-offline"
+    device_id: str
+    detail: str = ""
+
+
+class EventFeed:
+    """Per-user inboxes with poll cursors."""
+
+    def __init__(self) -> None:
+        self._inbox: Dict[str, List[UserEvent]] = {}
+        self._cursor: Dict[str, int] = {}
+
+    def emit(self, user_id: str, event: UserEvent) -> None:
+        self._inbox.setdefault(user_id, []).append(event)
+
+    def poll(self, user_id: str) -> List[UserEvent]:
+        """New events since the user's last poll."""
+        events = self._inbox.get(user_id, [])
+        start = self._cursor.get(user_id, 0)
+        self._cursor[user_id] = len(events)
+        return events[start:]
+
+    def all_events(self, user_id: str) -> List[UserEvent]:
+        return list(self._inbox.get(user_id, []))
+
+    def count(self, user_id: str) -> int:
+        return len(self._inbox.get(user_id, []))

@@ -1,0 +1,482 @@
+"""Cloud endpoint logic: every authentication/authorization decision.
+
+Each handler implements one endpoint of the vendor cloud, consulting
+the :class:`~repro.cloud.policy.VendorDesign` for exactly the checks the
+paper found present or absent in real products.  Attacks in
+``repro.attacks`` succeed or fail *only* because of decisions made here —
+there is no out-of-band "this vendor is vulnerable" flag anywhere.
+
+Map from paper to code:
+
+* Figure 3 (device authentication)  -> :meth:`EndpointHandlers.authenticate_device`
+* Figure 4 (binding creation)       -> :meth:`EndpointHandlers.handle_bind`
+* Section IV-C (binding revocation) -> :meth:`EndpointHandlers.handle_unbind`
+* Section IV-B (post-binding authorization) -> the ``post_token`` logic
+  in :meth:`handle_bind` / :meth:`handle_control` / :meth:`handle_fetch`
+* Device #7's IP-match check        -> :meth:`_check_ip_match`
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import (
+    AuthenticationFailed,
+    AuthorizationFailed,
+    BindingConflict,
+    ProtocolError,
+    RequestRejected,
+    UnknownDevice,
+)
+from repro.core.messages import (
+    BindMessage,
+    BindTokenRequest,
+    ControlMessage,
+    DeviceFetch,
+    DevTokenRequest,
+    LoginRequest,
+    LoginResponse,
+    Message,
+    QueryRequest,
+    Response,
+    ScheduleUpdate,
+    StatusMessage,
+    TokenResponse,
+    UnbindMessage,
+)
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode
+from repro.cloud.relay import QueuedCommand
+from repro.identity.tokens import TokenKind
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.service import CloudService
+
+
+class EndpointHandlers:
+    """The vendor cloud's request handlers."""
+
+    def __init__(self, service: "CloudService") -> None:
+        self.service = service
+
+    # ------------------------------------------------------------------
+    # account endpoints
+    # ------------------------------------------------------------------
+
+    def handle_login(self, packet: Packet, message: LoginRequest) -> LoginResponse:
+        """Password login (Figure 1 step 1)."""
+        svc = self.service
+        token = svc.accounts.login(message.user_id, message.user_pw, svc.now)
+        return LoginResponse(user_id=message.user_id, user_token=token)
+
+    def handle_dev_token_request(self, packet: Packet, message: DevTokenRequest) -> TokenResponse:
+        """Type-1 auth: the app fetches a DevToken to deliver locally.
+
+        If the device is already bound, only its bound user may fetch a
+        token — otherwise a remote stranger could mint a credential for
+        someone else's device.
+        """
+        svc = self.service
+        if svc.design.device_auth is not DeviceAuthMode.DEV_TOKEN:
+            raise RequestRejected("unsupported", "this vendor does not use DevTokens")
+        user = svc.accounts.require_user(message.user_token)
+        if not svc.registry.is_registered(message.device_id):
+            raise UnknownDevice(message.device_id or "<none>")
+        bound = svc.bindings.bound_user(message.device_id)
+        if bound is not None and bound != user:
+            raise AuthorizationFailed("not-owner", "device is bound to another user")
+        token = svc.registry.issue_dev_token(message.device_id, user, svc.now)
+        return TokenResponse(token=token)
+
+    def handle_bind_token_request(self, packet: Packet, message: BindTokenRequest) -> TokenResponse:
+        """Capability design: issue a single-use BindToken to the user."""
+        svc = self.service
+        if svc.design.bind_schema is not BindSchema.CAPABILITY:
+            raise RequestRejected("unsupported", "this vendor does not use BindTokens")
+        user = svc.accounts.require_user(message.user_token)
+        token = svc.tokens.issue(TokenKind.BIND, user, svc.now)
+        return TokenResponse(token=token)
+
+    # ------------------------------------------------------------------
+    # device authentication (Figure 3)
+    # ------------------------------------------------------------------
+
+    def authenticate_device(
+        self,
+        device_id: Optional[str],
+        dev_token: Optional[str],
+        signature: Optional[str],
+        payload: Optional[dict] = None,
+    ) -> str:
+        """Verify device identity per the design; return the device ID."""
+        svc = self.service
+        mode = svc.design.device_auth
+        if device_id is None or not svc.registry.is_registered(device_id):
+            raise AuthenticationFailed("unknown-device-id", str(device_id))
+        if mode is DeviceAuthMode.DEV_ID:
+            # Static identifier: possession of the ID *is* the identity.
+            return device_id
+        if mode is DeviceAuthMode.DEV_TOKEN:
+            if not svc.registry.check_dev_token(device_id, dev_token):
+                raise AuthenticationFailed("bad-dev-token", "stale or missing DevToken")
+            return device_id
+        if mode is DeviceAuthMode.PUBKEY:
+            record = svc.registry.get(device_id)
+            if record.public_key is None:
+                raise AuthenticationFailed("no-public-key", device_id)
+            if signature is None or not record.public_key.verify(payload or {}, signature):
+                raise AuthenticationFailed("bad-signature", device_id)
+            return device_id
+        raise ProtocolError(f"unhandled auth mode {mode}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Status (registration / heartbeat)
+    # ------------------------------------------------------------------
+
+    def handle_status(self, packet: Packet, message: StatusMessage) -> Response:
+        """Authenticate a Status message and update the shadow (Figure 2 (1)/(6))."""
+        svc = self.service
+        device_id = self.authenticate_device(
+            message.device_id,
+            message.dev_token,
+            message.signature,
+            payload={"device_id": message.device_id, "model": message.model},
+        )
+        shadow = svc.shadows.get(device_id)
+        # Connection bookkeeping: on single-connection clouds the newest
+        # authenticated sender evicts the previous one (the A3-4 lever);
+        # otherwise the first connection is kept as the device channel.
+        if shadow.connection_id is None or svc.design.single_connection_per_device:
+            connection = packet.src
+        else:
+            connection = shadow.connection_id
+        shadow.mark_status(svc.now, connection_id=connection)
+        shadow.reported_model = message.model or shadow.reported_model
+        shadow.reported_firmware = message.firmware_version or shadow.reported_firmware
+        if message.is_registration:
+            svc.shadows.mark_registration(device_id, svc.now, packet.observed_src_ip)
+        if svc.design.status_yields_user_data and message.telemetry:
+            svc.relay.report_telemetry(device_id, message.telemetry, svc.now, packet.src)
+        return Response(payload={"state": shadow.state.value})
+
+    # ------------------------------------------------------------------
+    # Bind (Figure 4)
+    # ------------------------------------------------------------------
+
+    def handle_bind(self, packet: Packet, message: BindMessage) -> Response:
+        """Create a binding per the Figure 4 design and the policy checks."""
+        svc = self.service
+        design = svc.design
+        if design.bind_schema is BindSchema.CAPABILITY:
+            return self._handle_capability_bind(packet, message)
+
+        user = self._bind_requester(message)
+        device_id = message.device_id
+        limit = design.bind_probe_rate_limit
+        if limit is not None and svc.bind_probe_failures.get(user, 0) >= limit:
+            raise RequestRejected(
+                "rate-limited",
+                "too many bind attempts for unknown devices from this account",
+            )
+        if not svc.registry.is_registered(device_id):
+            if limit is not None:
+                svc.bind_probe_failures[user] = svc.bind_probe_failures.get(user, 0) + 1
+            raise UnknownDevice(device_id or "<none>")
+        shadow = svc.shadows.get(device_id)
+
+        if design.ip_match_required:
+            self._check_ip_match(device_id, packet)
+        if design.bind_requires_online_device and not shadow.is_online:
+            raise BindingConflict("device-offline", "binding requires an online device")
+
+        replace = False
+        existing = svc.bindings.get(device_id)
+        if existing is not None:
+            if not design.rebind_replaces_existing:
+                raise BindingConflict(
+                    "already-bound", f"device {device_id!r} is bound to another user"
+                )
+            replace = True
+            self._teardown_binding(device_id, reason="replaced")
+
+        post_token: Optional[str] = None
+        if design.post_binding_token:
+            post_token = svc.tokens.issue(
+                TokenKind.POST_BINDING, f"{device_id}:{user}", svc.now
+            )
+        svc.bindings.create(device_id, user, svc.now, post_token=post_token)
+        shadow.mark_bound(user, svc.now)
+        svc.notify(user, "binding-created", device_id)
+
+        rotated: Optional[str] = None
+        if design.device_auth is DeviceAuthMode.DEV_TOKEN:
+            # A binding by a new user rotates the DevToken; the physical
+            # device keeps working only if the binding user delivers the
+            # fresh token locally (Section VI-B, device #3's saving grace).
+            rotated = svc.registry.rotate_for_new_binding(device_id, user, svc.now)
+
+        payload = {"bound_user": user, "replaced": replace}
+        if post_token is not None:
+            payload["post_binding_token"] = post_token
+        if rotated is not None:
+            payload["dev_token"] = rotated
+        return Response(payload=payload)
+
+    def _bind_requester(self, message: BindMessage) -> str:
+        """Authenticate whoever is asking to create the binding."""
+        svc = self.service
+        design = svc.design
+        if design.bind_sender is BindSender.DEVICE:
+            # Figure 4b: the device submits the user's credentials, which
+            # were delivered to it during local configuration.
+            if message.user_id is None or message.user_pw is None:
+                raise RequestRejected(
+                    "bad-bind-format", "this vendor expects device-submitted credentials"
+                )
+            if not svc.accounts.check_password(message.user_id, message.user_pw):
+                raise AuthenticationFailed("bad-credentials", "device-submitted login failed")
+            return message.user_id
+        if message.user_token is None:
+            raise RequestRejected(
+                "bad-bind-format", "this vendor expects an app-submitted UserToken"
+            )
+        return svc.accounts.require_user(message.user_token)
+
+    def _check_ip_match(self, device_id: str, packet: Packet) -> None:
+        """Device #7: bind only after a fresh button-press registration
+        arriving from the same source IP as the app's request."""
+        svc = self.service
+        mark = svc.shadows.registration_of(device_id)
+        if mark is None or svc.now - mark.time > svc.design.bind_window_seconds:
+            raise BindingConflict(
+                "no-fresh-registration",
+                f"press the device button within {svc.design.bind_window_seconds:.0f}s",
+            )
+        if mark.source_ip != packet.observed_src_ip:
+            raise BindingConflict(
+                "ip-mismatch",
+                f"app at {packet.observed_src_ip} but device registered from {mark.source_ip}",
+            )
+
+    def _handle_capability_bind(self, packet: Packet, message: BindMessage) -> Response:
+        """Figure 4c: the *device* submits the BindToken it received
+        locally from the user's app, proving local co-presence."""
+        svc = self.service
+        record = svc.tokens.lookup(message.bind_token, TokenKind.BIND)
+        if record is None:
+            raise AuthorizationFailed("bad-bind-token", "unknown or spent BindToken")
+        device_id = message.device_id
+        if device_id is None or not svc.registry.is_registered(device_id):
+            raise UnknownDevice(device_id or "<none>")
+        shadow = svc.shadows.get(device_id)
+        if not shadow.is_online or shadow.connection_id != packet.src:
+            raise AuthenticationFailed(
+                "device-not-authenticated",
+                "capability bindings are confirmed over the device's own connection",
+            )
+        if svc.bindings.is_bound(device_id):
+            raise BindingConflict("already-bound", "unbind first")
+        svc.tokens.revoke(record.token)  # single use
+        user = record.subject
+        post_token = svc.tokens.issue(TokenKind.POST_BINDING, f"{device_id}:{user}", svc.now)
+        binding = svc.bindings.create(device_id, user, svc.now, post_token=post_token)
+        binding.device_confirmed = True  # the device itself just proved presence
+        shadow.mark_bound(user, svc.now)
+        return Response(payload={"bound_user": user, "post_binding_token": post_token})
+
+    # ------------------------------------------------------------------
+    # Unbind (Section IV-C)
+    # ------------------------------------------------------------------
+
+    def handle_unbind(self, packet: Packet, message: UnbindMessage) -> Response:
+        """Revoke a binding per the Section IV-C revocation policy."""
+        svc = self.service
+        design = svc.design
+        if not design.unbind_supported:
+            raise RequestRejected("unbind-unsupported", "vendor has no revocation endpoint")
+        device_id = message.device_id
+        if not svc.registry.is_registered(device_id):
+            raise UnknownDevice(device_id or "<none>")
+        binding = svc.bindings.get(device_id)
+        if binding is None:
+            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
+
+        if message.user_token is None:
+            # Type 2: Unbind : DevId — anyone with the ID can revoke.
+            if not design.unbind_accepts_bare_dev_id:
+                raise RequestRejected(
+                    "missing-user-token", "this vendor requires a UserToken to unbind"
+                )
+        else:
+            # Type 1: Unbind : (DevId, UserToken)
+            user = svc.accounts.require_user(message.user_token)
+            if design.unbind_checks_bound_user and binding.user_id != user:
+                raise AuthorizationFailed(
+                    "not-bound-user", "requester is not the bound user"
+                )
+
+        self._teardown_binding(device_id, reason="unbound")
+        return Response(payload={"unbound": device_id})
+
+    def _teardown_binding(self, device_id: str, reason: str) -> None:
+        """Shared cleanup when a binding disappears (revoked or replaced)."""
+        svc = self.service
+        binding = svc.bindings.revoke(device_id)
+        if binding.post_token is not None:
+            svc.tokens.revoke(binding.post_token)
+        svc.shares.revoke_all(device_id)  # grants die with the binding
+        svc.relay.forget_device(device_id)
+        svc.notify(binding.user_id, f"binding-{reason}", device_id)
+        shadow = svc.shadows.get(device_id)
+        if shadow.is_bound:
+            shadow.mark_unbound(svc.now)
+        svc.audit.record(svc.now, "cloud", "-", f"binding-{reason}:{device_id}", "ok")
+
+    # ------------------------------------------------------------------
+    # post-binding traffic
+    # ------------------------------------------------------------------
+
+    def _require_bound_user(self, user_token: Optional[str], device_id: str):
+        svc = self.service
+        user = svc.accounts.require_user(user_token)
+        binding = svc.bindings.get(device_id)
+        if binding is None:
+            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
+        if binding.user_id != user:
+            raise AuthorizationFailed("not-bound-user", "requester is not the bound user")
+        return user, binding
+
+    def _require_access(self, user_token: Optional[str], device_id: str):
+        """Owner *or* share-grantee access (control/query surfaces).
+
+        Returns ``(user, binding, is_owner)``.  Grants are explicit
+        cloud-side authorizations created by the owner — never ambient
+        authority — so they extend the binding without weakening it.
+        """
+        svc = self.service
+        user = svc.accounts.require_user(user_token)
+        binding = svc.bindings.get(device_id)
+        if binding is None:
+            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
+        if binding.user_id == user:
+            return user, binding, True
+        if svc.shares.is_granted(device_id, user):
+            return user, binding, False
+        raise AuthorizationFailed("not-bound-user", "requester is not the bound user")
+
+    def handle_control(self, packet: Packet, message: ControlMessage) -> Response:
+        """Relay a user command to the device, enforcing ownership."""
+        svc = self.service
+        user, binding, is_owner = self._require_access(
+            message.user_token, message.device_id
+        )
+        shadow = svc.shadows.get(message.device_id)
+        if not shadow.is_online:
+            raise RequestRejected("device-offline", "device is not connected")
+        if svc.design.post_binding_token:
+            # The token pins the owner<->device pair; grantees are
+            # authorized by their explicit grant instead, but the device
+            # side must still have confirmed the binding.
+            if is_owner and message.post_binding_token != binding.post_token:
+                raise AuthorizationFailed("bad-post-token", "control requires the binding token")
+            if not binding.device_confirmed:
+                raise AuthorizationFailed(
+                    "device-not-confirmed",
+                    "device never presented this binding's token",
+                )
+        svc.relay.queue_command(
+            message.device_id,
+            QueuedCommand(message.command, dict(message.arguments), user, svc.now),
+        )
+        return Response(payload={"queued": message.command})
+
+    def handle_event_poll(self, packet: Packet, message) -> Response:
+        """Drain the requesting user's notification inbox."""
+        svc = self.service
+        user = svc.accounts.require_user(message.user_token)
+        events = svc.events.poll(user)
+        return Response(payload={
+            "events": [
+                {"time": e.time, "kind": e.kind, "device_id": e.device_id,
+                 "detail": e.detail}
+                for e in events
+            ],
+        })
+
+    def handle_binding_info(self, packet: Packet, message) -> Response:
+        """Return the requester's own binding metadata (incl. the
+        post-binding token — the user's half, Section IV-B)."""
+        svc = self.service
+        user, binding = self._require_bound_user(message.user_token, message.device_id)
+        payload = {
+            "bound_user": user,
+            "created_at": binding.created_at,
+            "device_confirmed": binding.device_confirmed,
+        }
+        if binding.post_token is not None:
+            payload["post_binding_token"] = binding.post_token
+        return Response(payload=payload)
+
+    def handle_share(self, packet: Packet, message) -> Response:
+        """Owner grants another account access (many-to-one binding)."""
+        svc = self.service
+        user, _binding = self._require_bound_user(message.user_token, message.device_id)
+        if not svc.accounts.exists(message.grantee):
+            raise RequestRejected("unknown-grantee", message.grantee)
+        svc.shares.grant(message.device_id, user, message.grantee, svc.now)
+        return Response(payload={"shared_with": message.grantee})
+
+    def handle_share_revoke(self, packet: Packet, message) -> Response:
+        """Withdraw a share grant (owner only)."""
+        svc = self.service
+        self._require_bound_user(message.user_token, message.device_id)
+        if not svc.shares.revoke(message.device_id, message.grantee):
+            raise RequestRejected("not-shared", message.grantee)
+        return Response(payload={"revoked": message.grantee})
+
+    def handle_schedule(self, packet: Packet, message: ScheduleUpdate) -> Response:
+        """Store the owner-set schedule for later device sync."""
+        svc = self.service
+        user, _binding = self._require_bound_user(message.user_token, message.device_id)
+        svc.relay.set_schedule(message.device_id, message.schedule)
+        return Response(payload={"schedule": dict(message.schedule)})
+
+    def handle_query(self, packet: Packet, message: QueryRequest) -> Response:
+        """Read back device state/telemetry/schedule for an authorized user."""
+        svc = self.service
+        user, _binding, _is_owner = self._require_access(
+            message.user_token, message.device_id
+        )
+        shadow = svc.shadows.get(message.device_id)
+        telemetry = svc.relay.telemetry_of(message.device_id)
+        payload = {
+            "state": shadow.state.value,
+            "telemetry": dict(telemetry.data) if telemetry else None,
+            "schedule": svc.relay.schedule_of(message.device_id),
+        }
+        return Response(payload=payload)
+
+    def handle_fetch(self, packet: Packet, message: DeviceFetch) -> Response:
+        """Device poll: pending commands + (for data-bearing channels) the
+        schedule.  This is the A1-stealing surface on DevId designs."""
+        svc = self.service
+        device_id = self.authenticate_device(
+            message.device_id,
+            message.dev_token,
+            message.signature,
+            payload={"device_id": message.device_id, "model": ""},
+        )
+        binding = svc.bindings.get(device_id)
+        if binding is not None and message.post_binding_token is not None:
+            binding.confirm_device(message.post_binding_token)
+        commands = svc.relay.drain_commands(device_id)
+        payload = {
+            "commands": [
+                {"command": c.command, "arguments": dict(c.arguments), "issued_by": c.issued_by}
+                for c in commands
+            ],
+        }
+        if svc.design.status_yields_user_data:
+            payload["schedule"] = svc.relay.schedule_of(device_id)
+        return Response(payload=payload)
+

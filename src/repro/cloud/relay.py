@@ -1,0 +1,87 @@
+"""The relay: user<->device data plane through the cloud.
+
+The cloud "relays messages between a specific device and a specific
+user" (Section II-A).  Concretely:
+
+* users push *commands* and *schedules* down; devices pick them up on
+  their next poll (the device keeps a persistent/polling connection —
+  nothing on the internet can reach into the LAN);
+* devices push *telemetry* up; users read it back with queries.
+
+The relay is deliberately dumb: every authorization decision happens in
+the handlers before anything lands here.  But it is the *ground truth*
+for attacks — A1's stolen schedule and injected telemetry, and A4's
+attacker-issued command executed by the victim device, are all observed
+on this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class QueuedCommand:
+    """A pending user->device command."""
+
+    command: str
+    arguments: Mapping[str, Any]
+    issued_by: str
+    issued_at: float
+
+
+@dataclass
+class TelemetryRecord:
+    """Latest device->user data, with provenance for attack ground truth."""
+
+    data: Mapping[str, Any]
+    reported_at: float
+    reported_by_connection: str
+
+
+class Relay:
+    """Per-device mailboxes for both directions of the data plane."""
+
+    def __init__(self) -> None:
+        self._commands: Dict[str, List[QueuedCommand]] = {}
+        self._schedules: Dict[str, Mapping[str, Any]] = {}
+        self._telemetry: Dict[str, TelemetryRecord] = {}
+
+    # -- downstream: user -> device ------------------------------------------
+
+    def queue_command(self, device_id: str, command: QueuedCommand) -> None:
+        self._commands.setdefault(device_id, []).append(command)
+
+    def drain_commands(self, device_id: str) -> List[QueuedCommand]:
+        """Hand all pending commands to the polling device and clear them."""
+        return self._commands.pop(device_id, [])
+
+    def pending_commands(self, device_id: str) -> List[QueuedCommand]:
+        return list(self._commands.get(device_id, []))
+
+    def set_schedule(self, device_id: str, schedule: Mapping[str, Any]) -> None:
+        self._schedules[device_id] = dict(schedule)
+
+    def schedule_of(self, device_id: str) -> Optional[Mapping[str, Any]]:
+        return self._schedules.get(device_id)
+
+    def clear_schedule(self, device_id: str) -> None:
+        self._schedules.pop(device_id, None)
+
+    # -- upstream: device -> user ----------------------------------------------
+
+    def report_telemetry(
+        self, device_id: str, data: Mapping[str, Any], now: float, connection: str
+    ) -> None:
+        if data:
+            self._telemetry[device_id] = TelemetryRecord(dict(data), now, connection)
+
+    def telemetry_of(self, device_id: str) -> Optional[TelemetryRecord]:
+        return self._telemetry.get(device_id)
+
+    def forget_device(self, device_id: str) -> None:
+        """Drop all relay state for a device (unbinding cleanup)."""
+        self._commands.pop(device_id, None)
+        self._schedules.pop(device_id, None)
+        self._telemetry.pop(device_id, None)

@@ -1,0 +1,184 @@
+"""The IoT cloud service: wiring, dispatch, liveness sweep.
+
+One :class:`CloudService` instance is one vendor's cloud, configured by
+a :class:`~repro.cloud.policy.VendorDesign`.  It attaches to the
+simulated internet as a node, dispatches incoming packets to
+:class:`~repro.cloud.handlers.EndpointHandlers`, and runs the periodic
+liveness sweep that moves silent shadows offline (Figure 2's timeout
+transitions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.accounts import AccountStore
+from repro.cloud.audit import AuditLog
+from repro.cloud.bindings import BindingStore
+from repro.cloud.handlers import EndpointHandlers
+from repro.cloud.policy import VendorDesign
+from repro.cloud.registry import DeviceRegistry
+from repro.cloud.events import EventFeed, UserEvent
+from repro.cloud.relay import Relay
+from repro.cloud.shadows import ShadowStore
+from repro.cloud.sharing import ShareStore
+from repro.core.errors import ProtocolError, RequestRejected
+from repro.core.messages import (
+    BindingInfoRequest,
+    BindMessage,
+    BindTokenRequest,
+    ControlMessage,
+    DeviceFetch,
+    DevTokenRequest,
+    EventPollRequest,
+    LoginRequest,
+    Message,
+    QueryRequest,
+    ScheduleUpdate,
+    ShareRequest,
+    ShareRevoke,
+    StatusMessage,
+    UnbindMessage,
+    describe,
+)
+from repro.core.shadow import DeviceShadow
+from repro.identity.keys import PublicKey
+from repro.identity.tokens import TokenService
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.environment import Environment
+
+
+class CloudService:
+    """A vendor's IoT cloud on the simulated internet."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        design: VendorDesign,
+        node_name: str = "cloud",
+        public_ip: str = "52.0.0.1",
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.design = design
+        self.node_name = node_name
+        self.tokens = TokenService(env.rng.fork(f"cloud-tokens-{design.name}"))
+        self.accounts = AccountStore(self.tokens)
+        self.registry = DeviceRegistry(self.tokens)
+        self.bindings = BindingStore()
+        self.shares = ShareStore()
+        self.shadows = ShadowStore()
+        self.relay = Relay()
+        self.audit = AuditLog()
+        #: per-account unknown-device bind failures (enumeration defence)
+        self.bind_probe_failures: dict = {}
+        self.events = EventFeed()
+        self._handlers = EndpointHandlers(self)
+        self._sweep_handle = None
+        network.add_internet_node(node_name, self.handle_packet, public_ip)
+        self.start_liveness_sweep()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def start_liveness_sweep(self) -> None:
+        """Periodically move silent shadows offline."""
+        if self._sweep_handle is not None:
+            return
+        interval = self.design.heartbeat_interval
+
+        def sweep() -> None:
+            expired = self.shadows.sweep_offline(self.now, self.design.offline_timeout)
+            for device_id in expired:
+                self.audit.record(
+                    self.now, "cloud", "-", f"offline-timeout:{device_id}", "ok"
+                )
+                bound = self.bindings.bound_user(device_id)
+                if bound is not None:
+                    self.notify(bound, "device-offline", device_id,
+                                "heartbeats stopped")
+
+        self._sweep_handle = self.env.every(interval, sweep)
+
+    # -- vendor-side provisioning ------------------------------------------------
+
+    def manufacture_device(
+        self, device_id: str, model: str, public_key: Optional[PublicKey] = None
+    ) -> DeviceShadow:
+        """Register a manufactured device and create its shadow."""
+        self.registry.manufacture(device_id, model, public_key)
+        return self.shadows.create(device_id)
+
+    # -- notifications -----------------------------------------------------------
+
+    def notify(self, user_id: str, kind: str, device_id: str, detail: str = "") -> None:
+        """Emit a user event if this vendor runs a notification feed."""
+        if self.design.notifies_user:
+            self.events.emit(user_id, UserEvent(self.now, kind, device_id, detail))
+
+    # -- request dispatch -----------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> Message:
+        """Network entry point: dispatch by message type, audit everything."""
+        message = packet.message
+        try:
+            response = self._dispatch(packet, message)
+        except RequestRejected as exc:
+            self.audit.record(
+                self.now,
+                packet.src,
+                str(packet.observed_src_ip),
+                describe(message),
+                exc.code,
+                exc.detail,
+            )
+            raise
+        self.audit.record(
+            self.now, packet.src, str(packet.observed_src_ip), describe(message)
+        )
+        return response
+
+    def _dispatch(self, packet: Packet, message: Message) -> Message:
+        handlers = self._handlers
+        if isinstance(message, LoginRequest):
+            return handlers.handle_login(packet, message)
+        if isinstance(message, DevTokenRequest):
+            return handlers.handle_dev_token_request(packet, message)
+        if isinstance(message, BindTokenRequest):
+            return handlers.handle_bind_token_request(packet, message)
+        if isinstance(message, StatusMessage):
+            return handlers.handle_status(packet, message)
+        if isinstance(message, BindMessage):
+            return handlers.handle_bind(packet, message)
+        if isinstance(message, UnbindMessage):
+            return handlers.handle_unbind(packet, message)
+        if isinstance(message, ControlMessage):
+            return handlers.handle_control(packet, message)
+        if isinstance(message, ScheduleUpdate):
+            return handlers.handle_schedule(packet, message)
+        if isinstance(message, QueryRequest):
+            return handlers.handle_query(packet, message)
+        if isinstance(message, BindingInfoRequest):
+            return handlers.handle_binding_info(packet, message)
+        if isinstance(message, EventPollRequest):
+            return handlers.handle_event_poll(packet, message)
+        if isinstance(message, ShareRequest):
+            return handlers.handle_share(packet, message)
+        if isinstance(message, ShareRevoke):
+            return handlers.handle_share_revoke(packet, message)
+        if isinstance(message, DeviceFetch):
+            return handlers.handle_fetch(packet, message)
+        raise ProtocolError(f"cloud has no endpoint for {type(message).__name__}")
+
+    # -- convenience accessors for experiments/tests ------------------------------
+
+    def shadow_state(self, device_id: str) -> str:
+        return self.shadows.get(device_id).state.value
+
+    def bound_user_of(self, device_id: str) -> Optional[str]:
+        return self.bindings.bound_user(device_id)

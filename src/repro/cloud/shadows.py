@@ -1,0 +1,74 @@
+"""The shadow store: one Figure 2 state machine per registered device.
+
+Also tracks the side facts policy checks need: the source IP and time of
+the latest *registration* status (device #7's IP-match check) and the
+liveness sweep that moves shadows offline when heartbeats stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import UnknownDevice
+from repro.core.shadow import DeviceShadow
+from repro.net.address import IpAddress
+
+
+@dataclass
+class RegistrationMark:
+    """When and from where the device last sent a registration status."""
+
+    time: float
+    source_ip: IpAddress
+
+
+class ShadowStore:
+    """All device shadows plus registration bookkeeping."""
+
+    def __init__(self) -> None:
+        self._shadows: Dict[str, DeviceShadow] = {}
+        self._registrations: Dict[str, RegistrationMark] = {}
+
+    def create(self, device_id: str) -> DeviceShadow:
+        """Create the shadow for a newly manufactured device."""
+        shadow = DeviceShadow(device_id)
+        self._shadows[device_id] = shadow
+        return shadow
+
+    def get(self, device_id: str) -> DeviceShadow:
+        try:
+            return self._shadows[device_id]
+        except KeyError:
+            raise UnknownDevice(device_id) from None
+
+    def has(self, device_id: str) -> bool:
+        return device_id in self._shadows
+
+    def all(self) -> List[DeviceShadow]:
+        return [self._shadows[device_id] for device_id in sorted(self._shadows)]
+
+    # -- registration marks (device #7's binding check) -----------------------
+
+    def mark_registration(self, device_id: str, time: float, source_ip: IpAddress) -> None:
+        self._registrations[device_id] = RegistrationMark(time, source_ip)
+
+    def registration_of(self, device_id: str) -> Optional[RegistrationMark]:
+        return self._registrations.get(device_id)
+
+    # -- liveness -------------------------------------------------------------
+
+    def sweep_offline(self, now: float, timeout: float) -> List[str]:
+        """Move shadows whose heartbeats stopped to their offline state.
+
+        Returns the IDs that transitioned (used by the audit log).
+        """
+        expired: List[str] = []
+        for device_id in sorted(self._shadows):
+            shadow = self._shadows[device_id]
+            if not shadow.is_online:
+                continue
+            if shadow.last_seen is None or now - shadow.last_seen > timeout:
+                shadow.mark_offline(now)
+                expired.append(device_id)
+        return expired

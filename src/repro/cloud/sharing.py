@@ -1,0 +1,67 @@
+"""Device sharing: many-to-one bindings (Section III-B's footnote).
+
+The paper analyses one-user/one-device bindings and notes the model
+"can be easily applied to many-to-one (or one-to-many) bindings".  This
+module is that application: the *owner* (the bound user) may grant
+other accounts access to the device.  Grants are strictly weaker than
+the binding — a grantee can control and query, but cannot unbind,
+re-share, or displace the owner — and every grant dies with the
+binding, so the A3/A4 analyses carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.errors import BindingConflict
+
+
+@dataclass(frozen=True)
+class ShareGrant:
+    """One owner-granted access right."""
+
+    device_id: str
+    owner: str
+    grantee: str
+    granted_at: float
+
+
+class ShareStore:
+    """Grants indexed by device."""
+
+    def __init__(self) -> None:
+        self._by_device: Dict[str, Dict[str, ShareGrant]] = {}
+
+    def grant(self, device_id: str, owner: str, grantee: str, now: float) -> ShareGrant:
+        """Owner grants *grantee* access; rejects duplicates and self-shares."""
+        if grantee == owner:
+            raise BindingConflict("self-share", "the owner already has access")
+        grants = self._by_device.setdefault(device_id, {})
+        if grantee in grants:
+            raise BindingConflict("already-shared", f"{grantee!r} already has access")
+        record = ShareGrant(device_id, owner, grantee, now)
+        grants[grantee] = record
+        return record
+
+    def revoke(self, device_id: str, grantee: str) -> bool:
+        grants = self._by_device.get(device_id, {})
+        return grants.pop(grantee, None) is not None
+
+    def revoke_all(self, device_id: str) -> int:
+        """Binding teardown: every grant dies with the binding."""
+        grants = self._by_device.pop(device_id, {})
+        return len(grants)
+
+    def is_granted(self, device_id: str, user: str) -> bool:
+        return user in self._by_device.get(device_id, {})
+
+    def grantees_of(self, device_id: str) -> List[str]:
+        return sorted(self._by_device.get(device_id, {}))
+
+    def devices_shared_with(self, user: str) -> List[str]:
+        return sorted(
+            device_id
+            for device_id, grants in self._by_device.items()
+            if user in grants
+        )

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the remote-binding reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching programming errors.
+Cloud-side request failures additionally derive from
+:class:`RequestRejected`, carrying a machine-readable ``code`` so that
+tests and the attack framework can assert on the *reason* a request was
+rejected (the paper identifies attack failures from response messages,
+Section VIII).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. time moved backwards)."""
+
+
+class NetworkError(ReproError):
+    """A packet could not be delivered at all (no route, host down)."""
+
+
+class FirewallBlocked(NetworkError):
+    """Delivery was blocked by a LAN boundary (WPA2/NAT gate).
+
+    The paper's adversary model assumes the attacker cannot access the
+    victim's local network; this error is how the simulation enforces it.
+    """
+
+
+class ProtocolError(ReproError):
+    """A message was malformed for the endpoint it was sent to."""
+
+
+class RequestRejected(ReproError):
+    """The cloud (or a device) rejected a request.
+
+    Attributes:
+        code: short machine-readable reason, e.g. ``"bad-user-token"``,
+            ``"not-bound-user"``, ``"device-offline"``, ``"ip-mismatch"``.
+    """
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        self.code = code
+        self.detail = detail
+        super().__init__(f"{code}: {detail}" if detail else code)
+
+
+class AuthenticationFailed(RequestRejected):
+    """Authentication (user or device) failed."""
+
+
+class AuthorizationFailed(RequestRejected):
+    """The principal is authenticated but lacks permission."""
+
+
+class BindingConflict(RequestRejected):
+    """A binding operation conflicted with the existing binding state."""
+
+
+class UnknownDevice(RequestRejected):
+    """The referenced device ID is not in the cloud registry."""
+
+    def __init__(self, device_id: str) -> None:
+        super().__init__("unknown-device", f"device {device_id!r} is not registered")
+        self.device_id = device_id
+
+
+class ConfigurationError(ReproError):
+    """A vendor design / scenario was configured inconsistently."""
+
+
+class AttackPreconditionError(ReproError):
+    """An attack was launched in a scenario state it does not target.
+
+    The taxonomy (Table II) ties each attack to targeted shadow states;
+    running e.g. a device-unbinding attack against a device that was
+    never bound is an experiment-script bug, not an attack failure.
+    """

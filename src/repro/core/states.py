@@ -1,0 +1,62 @@
+"""Shadow states and transition events (the vocabulary of Figure 2).
+
+The cloud tracks two booleans per device shadow — *online* and *bound* —
+giving four states.  Transitions are driven by the reception (or timeout)
+of the primitive messages.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class ShadowState(Enum):
+    """The four states of a device shadow (Figure 2)."""
+
+    INITIAL = "initial"  # offline, unbound
+    ONLINE = "online"    # online,  unbound
+    BOUND = "bound"      # offline, bound
+    CONTROL = "control"  # online,  bound
+
+    @property
+    def is_online(self) -> bool:
+        """Whether the cloud currently considers the device connected."""
+        return self in (ShadowState.ONLINE, ShadowState.CONTROL)
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether a user<->device binding exists in the cloud."""
+        return self in (ShadowState.BOUND, ShadowState.CONTROL)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@unique
+class ShadowEvent(Enum):
+    """Atomic events that move a shadow between states.
+
+    ``STATUS_RECEIVED`` / ``STATUS_TIMEOUT`` implement the paper's rule
+    that a device is online while status (registration/heartbeat)
+    messages keep arriving and offline once they stop.
+    """
+
+    STATUS_RECEIVED = "status-received"
+    STATUS_TIMEOUT = "status-timeout"
+    BIND_CREATED = "bind-created"
+    BIND_REVOKED = "bind-revoked"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def from_flags(online: bool, bound: bool) -> ShadowState:
+    """Map the (online, bound) flag pair to the corresponding state."""
+    if online and bound:
+        return ShadowState.CONTROL
+    if online:
+        return ShadowState.ONLINE
+    if bound:
+        return ShadowState.BOUND
+    return ShadowState.INITIAL

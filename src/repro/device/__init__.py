@@ -1,0 +1,64 @@
+"""Simulated device firmware: base behaviour plus concrete device types."""
+
+from repro.device.base import DeviceFirmware, ExecutedCommand
+from repro.device.bulb import ButtonBulbBridge, SmartBulb
+from repro.device.camera import IpCamera
+from repro.device.firmware import (
+    FirmwareImage,
+    ProtocolKnowledge,
+    image_for,
+    reverse_engineer,
+    try_reverse_engineer,
+)
+from repro.device.local import (
+    DeliverBindToken,
+    DeliverDevToken,
+    DeliverPostBindingToken,
+    DeliverUserCredential,
+    LocalAck,
+)
+from repro.device.lock import SmartLock
+from repro.device.plug import SmartPlug, SmartSocket
+from repro.device.sensors import FireAlarm, TemperatureSensor
+from repro.device.thermostat import Thermostat
+from repro.hub.hub import HubFirmware
+
+#: Map from a vendor profile's ``device_type`` to the firmware class.
+DEVICE_CLASSES = {
+    "zigbee-hub": HubFirmware,
+    "smart-plug": SmartPlug,
+    "smart-socket": SmartSocket,
+    "smart-bulb": SmartBulb,
+    "bulb-bridge": ButtonBulbBridge,
+    "ip-camera": IpCamera,
+    "smart-lock": SmartLock,
+    "fire-alarm": FireAlarm,
+    "temp-sensor": TemperatureSensor,
+    "thermostat": Thermostat,
+}
+
+__all__ = [
+    "ButtonBulbBridge",
+    "DEVICE_CLASSES",
+    "DeliverBindToken",
+    "DeliverDevToken",
+    "DeliverPostBindingToken",
+    "DeliverUserCredential",
+    "DeviceFirmware",
+    "ExecutedCommand",
+    "FireAlarm",
+    "FirmwareImage",
+    "HubFirmware",
+    "IpCamera",
+    "LocalAck",
+    "ProtocolKnowledge",
+    "SmartBulb",
+    "SmartLock",
+    "SmartPlug",
+    "SmartSocket",
+    "TemperatureSensor",
+    "Thermostat",
+    "image_for",
+    "reverse_engineer",
+    "try_reverse_engineer",
+]

@@ -1,0 +1,45 @@
+"""Smart bulbs (devices #7, #8)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.device.base import DeviceFirmware
+
+
+class SmartBulb(DeviceFirmware):
+    """A colour-tunable Wi-Fi bulb."""
+
+    model = "smart-bulb"
+    firmware_version = "3.1.4"
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {"on": False, "brightness": 100, "color_temp_k": 2700}
+
+    def read_telemetry(self) -> Dict[str, Any]:
+        return {
+            "on": self.state["on"],
+            "brightness": self.state["brightness"],
+        }
+
+    def apply_command(self, command: str, arguments: Mapping[str, Any]) -> None:
+        if command == "brightness":
+            level = int(arguments.get("level", 100))
+            self.state["brightness"] = max(0, min(100, level))
+            self.state["on"] = self.state["brightness"] > 0
+        elif command == "color_temp":
+            kelvin = int(arguments.get("kelvin", 2700))
+            self.state["color_temp_k"] = max(1500, min(6500, kelvin))
+        else:
+            super().apply_command(command, arguments)
+
+
+class ButtonBulbBridge(SmartBulb):
+    """Device #7's bridge: binding needs a physical button press.
+
+    The bulb itself talks Zigbee to the bridge; the reproduction models
+    the IP-facing bridge, which is the party in the remote binding.
+    """
+
+    model = "bulb-bridge"
+    firmware_version = "1.29.0"

@@ -1,0 +1,79 @@
+"""Firmware images and what an analyst can learn from them.
+
+The paper could only forge *device-side* messages for the 3 of 10
+vendors whose firmware images were downloadable (Section VI-A); the
+other cells of Table III's A1 column are "O — unable to confirm".
+:class:`FirmwareImage` models exactly that gate: protocol knowledge —
+the ability to craft syntactically valid ``Status`` / ``DeviceFetch`` /
+device-origin ``Bind``/``Unbind`` messages — is obtainable only from an
+available image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.errors import AttackPreconditionError
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """Metadata of a vendor's firmware image."""
+
+    vendor: str
+    version: str
+    available: bool
+    analysis_method: str = "static"  # "static" | "emulated" | "n/a"
+
+
+@dataclass(frozen=True)
+class ProtocolKnowledge:
+    """What reverse engineering an image yields for message forgery."""
+
+    vendor: str
+    device_auth: DeviceAuthMode
+    can_craft_status: bool
+    can_craft_fetch: bool
+    can_craft_device_bind: bool
+    can_craft_device_unbind: bool
+
+
+def image_for(design: VendorDesign) -> FirmwareImage:
+    """The firmware image situation for a vendor design."""
+    return FirmwareImage(
+        vendor=design.name,
+        version="official",
+        available=design.firmware_available,
+        analysis_method="static" if design.firmware_available else "n/a",
+    )
+
+
+def reverse_engineer(image: FirmwareImage, design: VendorDesign) -> ProtocolKnowledge:
+    """Extract protocol knowledge from an *available* image.
+
+    Raises :class:`AttackPreconditionError` when the image cannot be
+    obtained — the analysis layer maps that to Table III's "O" cells.
+    """
+    if not image.available:
+        raise AttackPreconditionError(
+            f"{design.name}: firmware image not obtainable; device messages "
+            "cannot be crafted (Table III: unable to confirm)"
+        )
+    return ProtocolKnowledge(
+        vendor=design.name,
+        device_auth=design.device_auth,
+        can_craft_status=True,
+        can_craft_fetch=True,
+        can_craft_device_bind=True,
+        can_craft_device_unbind=True,
+    )
+
+
+def try_reverse_engineer(design: VendorDesign) -> Optional[ProtocolKnowledge]:
+    """``reverse_engineer`` that returns ``None`` instead of raising."""
+    try:
+        return reverse_engineer(image_for(design), design)
+    except AttackPreconditionError:
+        return None

@@ -1,0 +1,55 @@
+"""The local configuration protocol between the app and the device.
+
+During local binding the app and the device exchange secrets over the
+LAN (Section II-B): the DevToken (Type-1 auth), the user credential
+(device-initiated binding), the BindToken (capability binding) and the
+post-binding authorization token.  These messages only ever travel
+inside a LAN — the network layer's WPA2/NAT boundary guarantees a remote
+attacker can neither send nor observe them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+
+
+@dataclass(frozen=True)
+class DeliverDevToken(Message):
+    """App -> device: the DevToken fetched from the cloud (Figure 3a)."""
+
+    dev_token: str = ""
+
+
+@dataclass(frozen=True)
+class DeliverPostBindingToken(Message):
+    """App -> device: the post-binding authorization token (Section IV-B)."""
+
+    token: str = ""
+
+
+@dataclass(frozen=True)
+class DeliverUserCredential(Message):
+    """App -> device: the user's login, for device-initiated binding
+    (Figure 4b) — the practice Section VII's last lesson warns against."""
+
+    user_id: str = ""
+    user_pw: str = ""
+
+
+@dataclass(frozen=True)
+class DeliverBindToken(Message):
+    """App -> device: the capability BindToken to submit to the cloud
+    (Figure 4c)."""
+
+    bind_token: str = ""
+
+
+@dataclass(frozen=True)
+class LocalAck(Message):
+    """Device -> app: local configuration step accepted."""
+
+    device_id: str = ""
+    accepted: bool = True
+    note: str = ""

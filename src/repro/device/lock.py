@@ -1,0 +1,32 @@
+"""Smart locks — the paper's running example for why A1/A3 are serious
+(a stolen schedule reveals when a door opens; a silenced lock endangers
+property, Sections V-B and V-D)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.device.base import DeviceFirmware
+
+
+class SmartLock(DeviceFirmware):
+    """A deadbolt with an open/close schedule and an event log."""
+
+    model = "smart-lock"
+    firmware_version = "2.0.7"
+
+    def initial_state(self) -> Dict[str, Any]:
+        self.event_log: List[Dict[str, Any]] = []
+        return {"on": True, "locked": True, "auto_lock": True}
+
+    def read_telemetry(self) -> Dict[str, Any]:
+        return {"locked": self.state["locked"], "battery_pct": 87}
+
+    def apply_command(self, command: str, arguments: Mapping[str, Any]) -> None:
+        if command in ("lock", "unlock"):
+            self.state["locked"] = command == "lock"
+            self.event_log.append({"time": self.env.now, "event": command})
+        elif command == "auto_lock":
+            self.state["auto_lock"] = bool(arguments.get("enable", True))
+        else:
+            super().apply_command(command, arguments)

@@ -1,0 +1,151 @@
+"""Fleet scenarios: one vendor cloud, many customers.
+
+Section V-C warns that sequential device IDs enable "scalable
+denial-of-service attacks to the entire product series of a vendor".
+A :class:`FleetDeployment` builds that world: N independent victim
+households (own LAN, phone, account, device) against one cloud, plus
+the usual remote attacker.  The campaign tooling in
+``repro.attacks.campaign`` then measures product-line-wide damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.app.mobile import MobileApp
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.cloud.service import CloudService
+from repro.core.errors import ConfigurationError, RequestRejected
+from repro.device import DEVICE_CLASSES
+from repro.device.base import DeviceFirmware
+from repro.identity.device_ids import scheme_from_name
+from repro.identity.keys import generate_keypair
+from repro.net.network import Network
+from repro.net.provisioning import ProvisioningAir
+from repro.sim.environment import Environment
+
+
+@dataclass
+class Household:
+    """One customer: account, phone/app, device, home network."""
+
+    index: int
+    user_id: str
+    password: str
+    app: MobileApp
+    device: DeviceFirmware
+    lan_id: str
+    ssid: str
+    wifi_passphrase: str
+    location: str
+
+
+class FleetDeployment:
+    """A vendor cloud serving *households* customers, plus an attacker."""
+
+    def __init__(self, design: VendorDesign, households: int = 5, seed: int = 0) -> None:
+        if households < 1:
+            raise ConfigurationError("a fleet needs at least one household")
+        self.design = design
+        self.env = Environment(seed=seed)
+        self.network = Network(self.env)
+        self.air = ProvisioningAir()
+        self.cloud = CloudService(self.env, self.network, design)
+        self.id_scheme = scheme_from_name(
+            design.id_scheme, oui=design.id_oui, digits=design.id_serial_digits
+        )
+        self.households: List[Household] = [
+            self._build_household(index) for index in range(households)
+        ]
+        # The attacker: an account and an internet-facing host, no LAN
+        # access to anyone.
+        self.attacker_user = "mallory@example.com"
+        self.attacker_password = "mallory-pw"
+        self.cloud.accounts.register(self.attacker_user, self.attacker_password)
+        self.network.add_internet_node("attacker:host", None, "198.51.100.99")
+        self._attacker_token: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def _build_household(self, index: int) -> Household:
+        design = self.design
+        user_id = f"user{index}@example.com"
+        password = f"pw-{index}"
+        lan_id = f"lan:home-{index}"
+        ssid = f"home-wifi-{index}"
+        passphrase = f"wifi pass {index}"
+        location = f"home:{index}"
+        self.network.create_lan(
+            lan_id, ssid, passphrase,
+            public_ip=f"203.0.{113 + index // 200}.{10 + index % 200}",
+            subnet_prefix="192.168.1",
+        )
+        self.cloud.accounts.register(user_id, password)
+        device_id = self.id_scheme.issue(self.env.rng)
+        keypair = None
+        if design.device_auth is DeviceAuthMode.PUBKEY:
+            keypair = generate_keypair(self.env.rng.fork(f"keys-{device_id}"), device_id)
+            self.cloud.manufacture_device(device_id, design.device_type, keypair.public)
+        else:
+            self.cloud.manufacture_device(device_id, design.device_type)
+        device = DEVICE_CLASSES[design.device_type](
+            env=self.env, network=self.network, air=self.air, design=design,
+            device_id=device_id, location=location, keypair=keypair,
+            node_name=f"device:{index}",
+        )
+        app = MobileApp(
+            env=self.env, network=self.network, air=self.air, design=design,
+            user_id=user_id, password=password, location=location,
+            node_name=f"app:{index}",
+        )
+        app.join_wifi(lan_id, passphrase)
+        return Household(index, user_id, password, app, device,
+                         lan_id, ssid, passphrase, location)
+
+    # ------------------------------------------------------------------
+
+    def attacker_token(self) -> str:
+        if self._attacker_token is None:
+            from repro.core.messages import LoginRequest
+
+            response = self.network.request(
+                "attacker:host", self.cloud.node_name,
+                LoginRequest(self.attacker_user, self.attacker_password),
+            )
+            self._attacker_token = response.user_token
+        return self._attacker_token
+
+    def setup_household(self, household: Household) -> bool:
+        """Run the Figure 1 flow for one customer; True on success."""
+        app, device = household.app, household.device
+        try:
+            if app.user_token is None:
+                app.login()
+            device.power_on()
+            app.provision_wifi(household.ssid, household.wifi_passphrase)
+            try:
+                app.local_configure(device)
+            except RequestRejected:
+                return False
+            if self.design.ip_match_required:
+                device.press_button()
+            return app.bind_device(device)
+        except RequestRejected:
+            return False
+
+    def setup_all(self) -> int:
+        """Set up every household; returns how many succeeded."""
+        return sum(1 for household in self.households if self.setup_household(household))
+
+    def run(self, seconds: float) -> None:
+        self.env.run_for(seconds)
+
+    def bound_users(self) -> Dict[str, Optional[str]]:
+        """device_id -> bound account, fleet-wide."""
+        return {
+            household.device.device_id: self.cloud.bound_user_of(
+                household.device.device_id
+            )
+            for household in self.households
+        }

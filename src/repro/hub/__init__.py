@@ -1,0 +1,23 @@
+"""Four-party architecture: Zigbee/BLE devices behind an IP hub.
+
+The paper's Section VIII extension: device + hub + user + cloud.
+"""
+
+from repro.hub.hub import HubFirmware, pair_child
+from repro.hub.zigbee import (
+    ZigbeeAir,
+    ZigbeeContactSensor,
+    ZigbeeDevice,
+    ZigbeeFrame,
+    ZigbeeSwitch,
+)
+
+__all__ = [
+    "HubFirmware",
+    "ZigbeeAir",
+    "ZigbeeContactSensor",
+    "ZigbeeDevice",
+    "ZigbeeFrame",
+    "ZigbeeSwitch",
+    "pair_child",
+]

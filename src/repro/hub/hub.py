@@ -1,0 +1,131 @@
+"""The IP-based hub: the fourth party of the extended architecture.
+
+The hub is an ordinary :class:`~repro.device.base.DeviceFirmware` from
+the cloud's point of view — it provisions, authenticates and binds like
+any other device, so *every* Table II attack applies to it unchanged.
+Locally it owns a Zigbee mesh: children pair over the short-range radio
+(physical co-location required) and are reachable remotely only through
+the hub's binding.
+
+The security consequence, which the tests make precise: the hub's
+binding is an *aggregation point*.  Hijacking one hub (A4) hijacks every
+paired child; unbinding it (A3) disconnects the whole home; forging its
+status (A1) forges every child's data at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.device.base import DeviceFirmware
+from repro.hub.zigbee import ZigbeeAir, ZigbeeDevice, ZigbeeFrame
+
+
+class HubFirmware(DeviceFirmware):
+    """A Zigbee-to-cloud bridge."""
+
+    model = "zigbee-hub"
+    firmware_version = "5.2.0"
+
+    def initial_state(self) -> Dict[str, Any]:
+        """Hub bookkeeping plus the on/off relay state."""
+        # Late-bound: attach_mesh() wires the radio after construction,
+        # because the base constructor runs before hub-specific fields.
+        self._mesh_air: Optional[ZigbeeAir] = None
+        self._mesh_detach = None
+        self.pairing_mode = False
+        self.children: Dict[str, Dict[str, Any]] = {}
+        self._child_reports: Dict[str, Mapping[str, Any]] = {}
+        return {"on": True}
+
+    # ------------------------------------------------------------------
+    # mesh side
+    # ------------------------------------------------------------------
+
+    def attach_mesh(self, air: ZigbeeAir) -> None:
+        """Join the local Zigbee medium at the hub's physical location."""
+        if self._mesh_air is not None:
+            return
+        self._mesh_air = air
+        self._mesh_receiver = self._receive_frame  # stable identity for skip
+        self._mesh_detach = air.attach(self.location, self._mesh_receiver)
+
+    def enter_pairing_mode(self) -> None:
+        """Accept child announces (the app's 'add device' button)."""
+        self.pairing_mode = True
+
+    def leave_pairing_mode(self) -> None:
+        self.pairing_mode = False
+
+    def _receive_frame(self, frame: ZigbeeFrame) -> None:
+        if frame.kind == "announce" and self.pairing_mode:
+            self.children[frame.src] = {"kind": frame.payload.get("kind", "?")}
+            self._mesh_air.transmit(
+                self.location,
+                ZigbeeFrame(
+                    self.node_name, "ack",
+                    {"target": frame.src, "hub": self.device_id},
+                ),
+                skip=self._mesh_receiver,
+            )
+        elif frame.kind == "report" and frame.src in self.children:
+            self._child_reports[frame.src] = dict(frame.payload)
+
+    def paired_children(self) -> List[str]:
+        return sorted(self.children)
+
+    # ------------------------------------------------------------------
+    # cloud side
+    # ------------------------------------------------------------------
+
+    def read_telemetry(self) -> Dict[str, Any]:
+        """The hub reports every child's latest measurement upstream."""
+        return {
+            "children": {
+                address: dict(report)
+                for address, report in sorted(self._child_reports.items())
+            }
+        }
+
+    def apply_command(self, command: str, arguments: Mapping[str, Any]) -> None:
+        """Relay ``child`` commands onto the mesh; handle the rest locally."""
+        if command == "child":
+            target = arguments.get("target")
+            if self._mesh_air is None or target not in self.children:
+                return  # unknown child: drop, like a real bridge
+            self._mesh_air.transmit(
+                self.location,
+                ZigbeeFrame(
+                    self.node_name, "command",
+                    {
+                        "target": target,
+                        "command": arguments.get("command", ""),
+                        "arguments": dict(arguments.get("arguments", {})),
+                    },
+                ),
+                skip=self._mesh_receiver,
+            )
+            return
+        if command == "pairing":
+            self.pairing_mode = bool(arguments.get("enable", True))
+            return
+        super().apply_command(command, arguments)
+
+    def factory_reset(self) -> None:
+        """A hub reset also forgets the whole mesh."""
+        super().factory_reset()
+        self.children.clear()
+        self._child_reports.clear()
+        self.pairing_mode = False
+
+
+def pair_child(hub: HubFirmware, child: ZigbeeDevice) -> bool:
+    """The user's pairing gesture: hub into pairing mode, child announces.
+
+    Requires both radios at the same physical location — a remote
+    attacker cannot inject children into a victim's mesh.
+    """
+    hub.enter_pairing_mode()
+    child.announce()
+    hub.leave_pairing_mode()
+    return child.paired_hub == hub.device_id

@@ -1,0 +1,154 @@
+"""Low-power (Zigbee/BLE-style) end devices and their local radio.
+
+The paper's Section VIII asks whether its analysis "could be
+generalized to other communication architectures that involve four
+parties: the Zigbee/Bluetooth device, the IP-based hub device, the user,
+and the cloud".  This package builds that architecture.
+
+A :class:`ZigbeeDevice` has no IP stack at all: it can only exchange
+frames with a hub over the short-range :class:`ZigbeeAir` (pairing
+requires physical co-location, like the provisioning radio).  Everything
+it says to the cloud goes *through* the hub — which is the party that
+participates in remote binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.errors import ProtocolError
+from repro.sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class ZigbeeFrame:
+    """One frame on the low-power radio."""
+
+    src: str           # zigbee short address
+    kind: str          # "announce" | "report" | "command" | "ack"
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+
+class ZigbeeAir:
+    """The short-range mesh medium: frames reach only co-located radios."""
+
+    def __init__(self) -> None:
+        self._radios: Dict[str, List[Callable[[ZigbeeFrame], None]]] = {}
+        self._address_counter = 0
+
+    def next_address(self) -> str:
+        """Deterministic short-address assignment for joining devices."""
+        self._address_counter += 1
+        return f"zb-{self._address_counter:04x}"
+
+    def attach(self, location: str, receiver: Callable[[ZigbeeFrame], None]) -> Callable[[], None]:
+        """Join the medium at *location*; returns a detach callable."""
+        if not location:
+            raise ProtocolError("a radio needs a physical location")
+        self._radios.setdefault(location, []).append(receiver)
+
+        def detach() -> None:
+            receivers = self._radios.get(location, [])
+            if receiver in receivers:
+                receivers.remove(receiver)
+
+        return detach
+
+    def transmit(self, location: str, frame: ZigbeeFrame,
+                 skip: Optional[Callable[[ZigbeeFrame], None]] = None) -> int:
+        """Broadcast *frame* at *location*; returns radios reached."""
+        receivers = [r for r in self._radios.get(location, []) if r is not skip]
+        for receiver in receivers:
+            receiver(frame)
+        return len(receivers)
+
+
+class ZigbeeDevice:
+    """A battery sensor/actuator that only speaks the local mesh."""
+
+    #: override per concrete type
+    kind: str = "generic"
+
+    def __init__(self, env: Environment, air: ZigbeeAir, location: str,
+                 short_address: Optional[str] = None) -> None:
+        self.env = env
+        self.air = air
+        self.location = location
+        self.short_address = short_address or air.next_address()
+        self.paired_hub: Optional[str] = None
+        self.state: Dict[str, Any] = self.initial_state()
+        self.received_commands: List[ZigbeeFrame] = []
+        # bind the receiver once: ``air`` filters self-reception by
+        # identity, and bound methods are fresh objects on every access
+        self._receiver = self._receive
+        self._detach = air.attach(location, self._receiver)
+
+    # -- subclass surface -------------------------------------------------
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {"on": False}
+
+    def read_measurement(self) -> Dict[str, Any]:
+        return {}
+
+    def apply_command(self, command: str, arguments: Mapping[str, Any]) -> None:
+        if command in ("on", "off"):
+            self.state["on"] = command == "on"
+        else:
+            self.state[command] = dict(arguments) if arguments else True
+
+    # -- mesh behaviour -----------------------------------------------------
+
+    def announce(self) -> int:
+        """Pairing-mode announce (the user pressed the pairing button)."""
+        return self.air.transmit(
+            self.location,
+            ZigbeeFrame(self.short_address, "announce", {"kind": self.kind}),
+            skip=self._receiver,
+        )
+
+    def report(self) -> int:
+        """Send a measurement frame toward whatever hub is listening."""
+        return self.air.transmit(
+            self.location,
+            ZigbeeFrame(self.short_address, "report", self.read_measurement()),
+            skip=self._receiver,
+        )
+
+    def _receive(self, frame: ZigbeeFrame) -> None:
+        if frame.kind == "command" and frame.payload.get("target") == self.short_address:
+            self.received_commands.append(frame)
+            self.apply_command(
+                frame.payload.get("command", ""), frame.payload.get("arguments", {})
+            )
+        elif frame.kind == "ack" and frame.payload.get("target") == self.short_address:
+            self.paired_hub = frame.payload.get("hub")
+
+    def remove(self) -> None:
+        """Take the device out of the mesh (battery removed)."""
+        self._detach()
+
+
+class ZigbeeContactSensor(ZigbeeDevice):
+    """A door/window contact sensor."""
+
+    kind = "contact-sensor"
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {"open": False}
+
+    def read_measurement(self) -> Dict[str, Any]:
+        return {"open": self.state["open"]}
+
+    def set_open(self, is_open: bool) -> None:
+        self.state["open"] = is_open
+
+
+class ZigbeeSwitch(ZigbeeDevice):
+    """A relay switch (light/appliance)."""
+
+    kind = "switch"
+
+    def read_measurement(self) -> Dict[str, Any]:
+        return {"on": self.state["on"]}

@@ -1,0 +1,117 @@
+"""Inferring a vendor's ID scheme from observed samples.
+
+Section III-A's first leakage vector: "Attackers may infer, brute-force,
+or enumerate the device ID according to the regulation of ID sequence
+arrangement."  Given a handful of observed IDs (from purchased units,
+labels, or traffic), this module classifies the scheme, extracts its
+structure (shared OUI, digit count, sequential stride) and bounds the
+remaining search space — exactly the reconnaissance step before an
+enumeration campaign.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.net.address import MAC_SUFFIX_SPACE
+
+_MAC_RE = re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$")
+_HEX_RE = re.compile(r"^[0-9a-f]+$")
+
+
+@dataclass(frozen=True)
+class SchemeGuess:
+    """The inferred structure of a vendor's device IDs."""
+
+    scheme: str                 # "mac-address" | "serial-number" | "random-hex" | "unknown"
+    search_space: int
+    detail: str
+    #: for sequential serials: likely adjacent IDs to try first
+    hot_candidates: tuple = ()
+
+    @property
+    def enumerable(self) -> bool:
+        """Practically sweepable (< 2^25 candidates)."""
+        return self.search_space <= 2 ** 25
+
+
+def infer_scheme(samples: Sequence[str]) -> SchemeGuess:
+    """Classify the ID scheme from observed *samples* (>= 1)."""
+    if not samples:
+        raise ConfigurationError("need at least one observed ID")
+    cleaned = [sample.strip().lower() for sample in samples]
+
+    if all(_MAC_RE.match(sample) for sample in cleaned):
+        return _infer_mac(cleaned)
+    if all(sample.isdigit() for sample in cleaned):
+        return _infer_serial(cleaned)
+    if all(_HEX_RE.match(sample) for sample in cleaned):
+        lengths = {len(sample) for sample in cleaned}
+        if len(lengths) == 1:
+            length = lengths.pop()
+            return SchemeGuess(
+                "random-hex", 16 ** length,
+                f"{length}-char hex strings, no visible structure",
+            )
+    return SchemeGuess("unknown", 0, "samples do not match a known scheme")
+
+
+def _infer_mac(samples: List[str]) -> SchemeGuess:
+    ouis = {sample[:8] for sample in samples}
+    if len(ouis) == 1:
+        return SchemeGuess(
+            "mac-address", MAC_SUFFIX_SPACE,
+            f"MAC addresses sharing OUI {ouis.pop()}: 3 free bytes",
+        )
+    return SchemeGuess(
+        "mac-address", MAC_SUFFIX_SPACE * len(ouis),
+        f"MAC addresses across {len(ouis)} OUIs",
+    )
+
+
+def _infer_serial(samples: List[str]) -> SchemeGuess:
+    lengths = {len(sample) for sample in samples}
+    if len(lengths) != 1:
+        return SchemeGuess(
+            "serial-number", 10 ** max(lengths),
+            "numeric serials of varying length",
+        )
+    digits = lengths.pop()
+    space = 10 ** digits
+    values = sorted(int(sample) for sample in samples)
+    sequential = len(values) >= 2 and all(
+        values[i + 1] - values[i] <= 10 for i in range(len(values) - 1)
+    )
+    if sequential:
+        low, high = values[0], values[-1]
+        hot = tuple(
+            f"{v:0{digits}d}"
+            for v in range(max(0, low - 3), min(space, high + 4))
+        )
+        return SchemeGuess(
+            "serial-number", space,
+            f"{digits}-digit serials, tightly clustered (sequential issue); "
+            f"observed range {low}-{high}",
+            hot_candidates=hot,
+        )
+    return SchemeGuess(
+        "serial-number", space, f"{digits}-digit serials, no visible ordering"
+    )
+
+
+def recommended_probe_order(guess: SchemeGuess, limit: int = 100) -> List[str]:
+    """Candidate IDs to probe first, best-information first."""
+    ordered: List[str] = list(guess.hot_candidates[:limit])
+    if guess.scheme == "serial-number" and len(ordered) < limit:
+        digits = len(ordered[0]) if ordered else 7
+        seen = set(ordered)
+        value = 0
+        while len(ordered) < limit and value < guess.search_space:
+            candidate = f"{value:0{digits}d}"
+            if candidate not in seen:
+                ordered.append(candidate)
+            value += 1
+    return ordered[:limit]

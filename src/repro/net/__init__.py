@@ -1,0 +1,30 @@
+"""Network substrate: addressing, LANs, NAT/firewall, discovery, MITM."""
+
+from repro.net.address import MAC_SUFFIX_SPACE, IpAddress, MacAddress
+from repro.net.capture import CaptureEntry, PacketCapture
+from repro.net.discovery import SsdpDescription, SsdpSearch, ssdp_discover
+from repro.net.lan import DhcpLease, Lan, Router
+from repro.net.mitm import MitmProxy
+from repro.net.network import Network
+from repro.net.packet import Exchange, Packet
+from repro.net.provisioning import ProvisioningAir, WifiCredentials
+
+__all__ = [
+    "CaptureEntry",
+    "DhcpLease",
+    "Exchange",
+    "IpAddress",
+    "Lan",
+    "MAC_SUFFIX_SPACE",
+    "MacAddress",
+    "MitmProxy",
+    "Network",
+    "Packet",
+    "PacketCapture",
+    "ProvisioningAir",
+    "Router",
+    "SsdpDescription",
+    "SsdpSearch",
+    "WifiCredentials",
+    "ssdp_discover",
+]

@@ -1,0 +1,70 @@
+"""Network addressing: IPv4 and MAC address value types.
+
+MAC addresses matter to the paper beyond plumbing: five of the ten
+studied vendors derive the *device ID* from the MAC, whose first three
+bytes are the manufacturer OUI — leaving only a 3-byte search space for
+an attacker (Section I, Section III-A).  :class:`MacAddress` therefore
+exposes the OUI/suffix split and the exact enumeration space.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ProtocolError
+
+_MAC_RE = re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$")
+_IP_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+#: Size of the device-specific portion of a MAC (3 bytes).
+MAC_SUFFIX_SPACE = 256 ** 3
+
+
+@dataclass(frozen=True, order=True)
+class IpAddress:
+    """A dotted-quad IPv4 address."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        match = _IP_RE.match(self.value)
+        if not match or any(int(octet) > 255 for octet in match.groups()):
+            raise ProtocolError(f"invalid IPv4 address: {self.value!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """A 48-bit MAC address, lowercase colon-separated."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not _MAC_RE.match(self.value):
+            raise ProtocolError(f"invalid MAC address: {self.value!r}")
+
+    @property
+    def oui(self) -> str:
+        """The vendor-specific first three bytes (``aa:bb:cc``)."""
+        return self.value[:8]
+
+    @property
+    def suffix(self) -> str:
+        """The device-specific last three bytes (``dd:ee:ff``)."""
+        return self.value[9:]
+
+    @staticmethod
+    def from_parts(oui: str, suffix: str) -> "MacAddress":
+        """Build a MAC from an OUI and a device suffix."""
+        return MacAddress(f"{oui}:{suffix}")
+
+    @staticmethod
+    def search_space_for_oui() -> int:
+        """Candidate MACs an attacker must try once the OUI is known."""
+        return MAC_SUFFIX_SPACE
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,82 @@
+"""Passive packet capture on the simulated network.
+
+A capture is a network tap: it records every exchange, but the *content*
+of TLS-protected packets is only readable by their endpoints — a capture
+renders them redacted, exactly like sniffing HTTPS.  The paper notes
+that for some vendors "device IDs can be observed from the traffic"
+(Section VI-A): those vendors send unencrypted traffic, which a capture
+does expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.messages import describe
+from repro.net.packet import Exchange
+
+
+@dataclass
+class CaptureEntry:
+    """One observed exchange, with visibility rules applied."""
+
+    time: float
+    src: str
+    dst: str
+    observed_src_ip: str
+    encrypted: bool
+    visible_summary: str
+    error_code: Optional[str]
+
+
+@dataclass
+class PacketCapture:
+    """Records exchanges; attach via ``network.add_tap(capture.tap)``."""
+
+    name: str = "capture"
+    entries: List[CaptureEntry] = field(default_factory=list)
+    predicate: Optional[Callable[[Exchange], bool]] = None
+
+    def tap(self, exchange: Exchange) -> None:
+        """Network-tap entry point: record one exchange."""
+        if self.predicate is not None and not self.predicate(exchange):
+            return
+        packet = exchange.request
+        summary = "<encrypted>" if packet.encrypted else describe(packet.message)
+        self.entries.append(
+            CaptureEntry(
+                time=packet.time,
+                src=packet.src,
+                dst=packet.dst,
+                observed_src_ip=str(packet.observed_src_ip),
+                encrypted=packet.encrypted,
+                visible_summary=summary,
+                error_code=exchange.error_code,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def plaintext_entries(self) -> List[CaptureEntry]:
+        """Entries whose content was visible on the wire."""
+        return [entry for entry in self.entries if not entry.encrypted]
+
+    def between(self, src: str, dst: str) -> List[CaptureEntry]:
+        return [e for e in self.entries if e.src == src and e.dst == dst]
+
+    def render(self) -> str:
+        """Human-readable dump of the capture."""
+        lines = [f"capture {self.name!r}: {len(self.entries)} packets"]
+        for entry in self.entries:
+            flag = "E" if entry.encrypted else "-"
+            err = f" !{entry.error_code}" if entry.error_code else ""
+            lines.append(
+                f"  [t={entry.time:8.3f}] {flag} {entry.src} -> {entry.dst} "
+                f"({entry.observed_src_ip}) {entry.visible_summary}{err}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Local service discovery (SSDP-style), used during local binding.
+
+"In some solutions, service discovery protocols like SSDP are used to
+broadcast self-descriptions and exchange information between the device
+and the app" (Section II-B).  The app multicasts an M-SEARCH on its LAN;
+devices respond with a self-description that includes the information
+the app needs for binding — which, for DevId designs, is the device ID
+itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping
+
+from repro.core.messages import Message
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class SsdpSearch(Message):
+    """M-SEARCH: who is out there?"""
+
+    search_target: str = "upnp:rootdevice"
+
+
+@dataclass(frozen=True)
+class SsdpDescription(Message):
+    """A device's self-description, returned to an M-SEARCH."""
+
+    device_id: str = ""
+    model: str = ""
+    vendor: str = ""
+    services: Mapping[str, str] = field(default_factory=dict)
+
+
+def ssdp_discover(network: Network, app_node: str, search_target: str = "upnp:rootdevice") -> List[SsdpDescription]:
+    """Broadcast an M-SEARCH from *app_node* and collect descriptions.
+
+    Only devices on the same LAN answer — discovery is inherently local,
+    which is why remote attackers must obtain device IDs by other means
+    (inference or off-site physical interaction, Section III-A).
+    """
+    exchanges = network.broadcast(app_node, SsdpSearch(search_target=search_target))
+    return [
+        exchange.response
+        for exchange in exchanges
+        if isinstance(exchange.response, SsdpDescription)
+    ]

@@ -1,0 +1,97 @@
+"""Local networks: Wi-Fi LANs with WPA2 gating, a router/NAT and DHCP.
+
+The paper's adversary model hinges on the local network being a strong
+boundary: "IoT devices are usually connected in local networks that are
+protected by firewalls or encryption like WPA2 ... we assume the
+adversary cannot access user's local networks" (Section III-A).  This
+module is where that boundary is enforced: joining a LAN requires the
+WPA2 passphrase, and only joined nodes get a DHCP lease and local
+reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import NetworkError, ProtocolError
+from repro.net.address import IpAddress
+
+
+@dataclass(frozen=True)
+class DhcpLease:
+    """One address assignment on a LAN."""
+
+    node: str
+    ip: IpAddress
+
+
+class Router:
+    """The LAN's gateway: NAT to the internet and local switching."""
+
+    def __init__(self, public_ip: IpAddress, subnet_prefix: str = "192.168.1") -> None:
+        self.public_ip = public_ip
+        self.subnet_prefix = subnet_prefix
+        self._next_host = 2  # .1 is the router itself
+
+    def lease(self, node: str) -> DhcpLease:
+        """Hand out the next free local address (DHCP)."""
+        if self._next_host > 254:
+            raise NetworkError("DHCP pool exhausted")
+        ip = IpAddress(f"{self.subnet_prefix}.{self._next_host}")
+        self._next_host += 1
+        return DhcpLease(node, ip)
+
+    @property
+    def gateway_ip(self) -> IpAddress:
+        return IpAddress(f"{self.subnet_prefix}.1")
+
+
+class Lan:
+    """A WPA2-protected Wi-Fi network behind one router."""
+
+    def __init__(
+        self,
+        lan_id: str,
+        ssid: str,
+        passphrase: str,
+        public_ip: IpAddress,
+        subnet_prefix: str = "192.168.1",
+    ) -> None:
+        if not passphrase:
+            raise ProtocolError("WPA2 passphrase must be non-empty")
+        self.lan_id = lan_id
+        self.ssid = ssid
+        self._passphrase = passphrase
+        self.router = Router(public_ip, subnet_prefix)
+        self._leases: Dict[str, DhcpLease] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def join(self, node: str, passphrase: str) -> DhcpLease:
+        """Associate *node* with the Wi-Fi; wrong passphrase is rejected.
+
+        Re-joining is idempotent and keeps the existing lease.
+        """
+        if passphrase != self._passphrase:
+            raise NetworkError(f"WPA2 handshake failed for {node!r} on {self.ssid!r}")
+        if node not in self._leases:
+            self._leases[node] = self.router.lease(node)
+        return self._leases[node]
+
+    def leave(self, node: str) -> None:
+        """Disassociate *node* (e.g. device reset wipes Wi-Fi credentials)."""
+        self._leases.pop(node, None)
+
+    def contains(self, node: str) -> bool:
+        return node in self._leases
+
+    def lease_of(self, node: str) -> Optional[DhcpLease]:
+        return self._leases.get(node)
+
+    def members(self) -> Dict[str, DhcpLease]:
+        return dict(self._leases)
+
+    def check_passphrase(self, passphrase: str) -> bool:
+        """Used by provisioning to validate credentials without joining."""
+        return passphrase == self._passphrase

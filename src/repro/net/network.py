@@ -1,0 +1,286 @@
+"""The simulated internet: nodes, LAN boundaries, NAT, taps and proxies.
+
+Topology model (matching the paper's Figure 1 world):
+
+* *Internet nodes* (the cloud, a phone on cellular data) have a public
+  IP and are reachable from everywhere.
+* *LAN nodes* (devices, phones on Wi-Fi) sit behind a router.  They can
+  reach the internet via NAT — the receiver observes the router's public
+  IP — and each other locally, but nothing outside can reach them.
+  Cross-LAN traffic is blocked: this is the WPA2/firewall boundary of
+  the adversary model.
+
+Requests are synchronous (HTTP-style): ``request`` delivers the packet
+to the destination's handler and returns its response.  Cloud->device
+pushes ride on the device's persistent connection at the application
+layer (the device polls), never on network-layer reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.core.errors import (
+    FirewallBlocked,
+    NetworkError,
+    ProtocolError,
+    RequestRejected,
+)
+from repro.core.messages import Message
+from repro.net.address import IpAddress
+from repro.net.lan import Lan
+from repro.net.packet import Exchange, Packet
+from repro.sim.environment import Environment
+
+Handler = Callable[[Packet], Message]
+Tap = Callable[[Exchange], None]
+
+
+class PacketProxy(Protocol):
+    """A man-in-the-middle hook on one node's *own* outgoing traffic."""
+
+    name: str
+
+    def process(self, packet: Packet) -> Packet:  # pragma: no cover - protocol
+        """Observe and optionally rewrite the outgoing packet."""
+        ...
+
+
+@dataclass
+class _Node:
+    name: str
+    handler: Optional[Handler]
+    wan_ip: Optional[IpAddress] = None
+    lan_id: Optional[str] = None
+
+
+class Network:
+    """Registry of nodes and LANs plus the delivery rules between them."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._nodes: Dict[str, _Node] = {}
+        self._lans: Dict[str, Lan] = {}
+        self._taps: List[Tap] = []
+        self._proxies: Dict[str, PacketProxy] = {}
+        #: per-request drop probability (failure injection); uses the
+        #: environment's seeded RNG so lossy runs stay reproducible
+        self._loss_probability = 0.0
+
+    # -- topology ----------------------------------------------------------
+
+    def add_internet_node(self, name: str, handler: Optional[Handler], public_ip: str) -> None:
+        """Attach a node directly to the internet (e.g. the cloud)."""
+        self._ensure_new(name)
+        self._nodes[name] = _Node(name, handler, wan_ip=IpAddress(public_ip))
+
+    def add_node(self, name: str, handler: Optional[Handler] = None,
+                 wan_ip: Optional[str] = None) -> None:
+        """Register a node; *wan_ip* gives it cellular-style uplink.
+
+        A node with neither a WAN IP nor a LAN lease has no
+        connectivity (a factory-fresh device).  A phone typically has a
+        WAN IP (cellular) and joins LANs as it moves; when on a LAN its
+        internet traffic egresses via the router (Wi-Fi preferred).
+        """
+        self._ensure_new(name)
+        self._nodes[name] = _Node(
+            name, handler, wan_ip=IpAddress(wan_ip) if wan_ip else None
+        )
+
+    def create_lan(
+        self,
+        lan_id: str,
+        ssid: str,
+        passphrase: str,
+        public_ip: str,
+        subnet_prefix: str = "192.168.1",
+    ) -> Lan:
+        """Create a WPA2 LAN whose router NATs to *public_ip*."""
+        if lan_id in self._lans:
+            raise ProtocolError(f"LAN {lan_id!r} already exists")
+        lan = Lan(lan_id, ssid, passphrase, IpAddress(public_ip), subnet_prefix)
+        self._lans[lan_id] = lan
+        return lan
+
+    def join_lan(self, node: str, lan_id: str, passphrase: str) -> None:
+        """Associate *node* with a LAN (WPA2-checked, DHCP-leased)."""
+        entry = self._require(node)
+        lan = self._require_lan(lan_id)
+        lan.join(node, passphrase)
+        entry.lan_id = lan_id
+
+    def leave_lan(self, node: str) -> None:
+        """Disassociate *node* from its LAN, if any."""
+        entry = self._require(node)
+        if entry.lan_id is not None:
+            self._lans[entry.lan_id].leave(node)
+            entry.lan_id = None
+
+    def set_handler(self, node: str, handler: Optional[Handler]) -> None:
+        self._require(node).handler = handler
+
+    def lan(self, lan_id: str) -> Lan:
+        return self._require_lan(lan_id)
+
+    def find_lan_by_ssid(self, ssid: str) -> Optional[str]:
+        """The LAN id broadcasting *ssid*, if any (Wi-Fi scan)."""
+        for lan_id, lan in self._lans.items():
+            if lan.ssid == ssid:
+                return lan_id
+        return None
+
+    def lan_of(self, node: str) -> Optional[str]:
+        return self._require(node).lan_id
+
+    # -- observation hooks ---------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a passive observer of every exchange."""
+        self._taps.append(tap)
+
+    def set_proxy(self, node: str, proxy: Optional[PacketProxy]) -> None:
+        """Route *node*'s own outgoing requests through a MITM proxy.
+
+        This models the paper's methodology: the analyst configures a
+        proxy (with a trusted CA) on *their own* phone to observe and
+        rewrite the companion app's traffic.  A proxy never grants
+        access to other nodes' traffic.
+        """
+        self._require(node)
+        if proxy is None:
+            self._proxies.pop(node, None)
+        else:
+            self._proxies[node] = proxy
+
+    # -- failure injection --------------------------------------------------
+
+    def set_loss(self, probability: float) -> None:
+        """Drop each request with *probability* (0 disables).
+
+        Models flaky last-mile connectivity; callers see a plain
+        :class:`NetworkError`, exactly like a timeout.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ProtocolError("loss probability must be within [0, 1]")
+        self._loss_probability = probability
+
+    # -- delivery ------------------------------------------------------------
+
+    def request(self, src: str, dst: str, message: Message, encrypted: bool = True) -> Message:
+        """Send *message* from *src* to *dst*; return the handler's response.
+
+        Raises :class:`FirewallBlocked` / :class:`NetworkError` for
+        unreachable destinations and re-raises any
+        :class:`RequestRejected` the destination handler raised.
+        """
+        if self._loss_probability > 0.0 and (
+            self.env.rng.uniform(0.0, 1.0) < self._loss_probability
+        ):
+            raise NetworkError(f"request {src!r} -> {dst!r} lost in transit")
+        packet = self._build_packet(src, dst, message, encrypted)
+        proxy = self._proxies.get(src)
+        if proxy is not None:
+            packet = proxy.process(packet)
+            packet.via_proxy = proxy.name
+        destination = self._require(packet.dst)
+        if destination.handler is None:
+            raise NetworkError(f"node {packet.dst!r} does not accept requests")
+        try:
+            response = destination.handler(packet)
+        except RequestRejected as exc:
+            self._record(Exchange(packet, _rejection(exc), error_code=exc.code))
+            raise
+        self._record(Exchange(packet, response))
+        return response
+
+    def broadcast(self, src: str, message: Message, encrypted: bool = False) -> List[Exchange]:
+        """Deliver *message* to every other handler on *src*'s LAN (SSDP-style)."""
+        entry = self._require(src)
+        if entry.lan_id is None:
+            raise NetworkError(f"{src!r} is not on a LAN; cannot broadcast")
+        lan = self._lans[entry.lan_id]
+        exchanges: List[Exchange] = []
+        for member in sorted(lan.members()):
+            target = self._nodes.get(member)
+            if member == src or target is None or target.handler is None:
+                continue
+            packet = self._build_packet(src, member, message, encrypted)
+            try:
+                response = target.handler(packet)
+                exchange = Exchange(packet, response)
+            except RequestRejected as exc:
+                exchange = Exchange(packet, _rejection(exc), error_code=exc.code)
+            self._record(exchange)
+            exchanges.append(exchange)
+        return exchanges
+
+    # -- internals -------------------------------------------------------------
+
+    def _build_packet(self, src: str, dst: str, message: Message, encrypted: bool) -> Packet:
+        source = self._require(src)
+        destination = self._require(dst)
+        observed_ip = self._observed_ip(source, destination)
+        return Packet(
+            src=src,
+            dst=dst,
+            observed_src_ip=observed_ip,
+            message=message,
+            encrypted=encrypted,
+            time=self.env.now,
+        )
+
+    def _observed_ip(self, source: _Node, destination: _Node) -> IpAddress:
+        src_lan = self._lans.get(source.lan_id) if source.lan_id else None
+        dst_on_same_lan = (
+            destination.lan_id is not None and destination.lan_id == source.lan_id
+        )
+        if dst_on_same_lan:
+            lease = src_lan.lease_of(source.name) if src_lan else None
+            if lease is None:  # pragma: no cover - defensive
+                raise NetworkError(f"{source.name!r} lost its DHCP lease")
+            return lease.ip
+        if destination.lan_id is not None:
+            # Destination is behind someone else's NAT: unreachable.
+            raise FirewallBlocked(
+                f"{source.name!r} cannot reach {destination.name!r} behind "
+                f"LAN {destination.lan_id!r} (WPA2/NAT boundary)"
+            )
+        if destination.wan_ip is None:
+            # Neither on a LAN nor on the internet: a factory-fresh node.
+            raise FirewallBlocked(
+                f"{destination.name!r} has no network presence to reach"
+            )
+        # Destination on the internet.
+        if src_lan is not None:
+            return src_lan.router.public_ip
+        if source.wan_ip is not None:
+            return source.wan_ip
+        raise NetworkError(f"{source.name!r} has no connectivity")
+
+    def _record(self, exchange: Exchange) -> None:
+        for tap in self._taps:
+            tap(exchange)
+
+    def _ensure_new(self, name: str) -> None:
+        if name in self._nodes:
+            raise ProtocolError(f"node {name!r} already registered")
+
+    def _require(self, name: str) -> _Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def _require_lan(self, lan_id: str) -> Lan:
+        try:
+            return self._lans[lan_id]
+        except KeyError:
+            raise NetworkError(f"unknown LAN {lan_id!r}") from None
+
+
+def _rejection(exc: RequestRejected) -> Message:
+    from repro.core.messages import Response
+
+    return Response(ok=False, payload={"error": exc.code, "detail": exc.detail})

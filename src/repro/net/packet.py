@@ -1,0 +1,50 @@
+"""Packets: the unit of traffic on the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.messages import Message, describe
+from repro.net.address import IpAddress
+
+
+@dataclass
+class Packet:
+    """One request travelling from *src* to *dst*.
+
+    ``observed_src_ip`` is the source IP as seen by the receiver — after
+    NAT, this is the LAN's router public IP.  Device #7's binding check
+    compares exactly this field between the app's and the device's
+    requests (Section VI-B).
+    """
+
+    src: str
+    dst: str
+    observed_src_ip: IpAddress
+    message: Message
+    encrypted: bool = True
+    time: float = 0.0
+    via_proxy: Optional[str] = None
+
+    def summary(self) -> str:
+        """Compact one-line rendering for captures and traces."""
+        lock = "TLS" if self.encrypted else "plain"
+        return (
+            f"[t={self.time:.3f}] {self.src} -> {self.dst} "
+            f"({self.observed_src_ip}, {lock}) {describe(self.message)}"
+        )
+
+
+@dataclass
+class Exchange:
+    """A request packet together with the response it produced."""
+
+    request: Packet
+    response: Message
+    error_code: Optional[str] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error_code is None

@@ -1,0 +1,19 @@
+"""Reference secure binding designs and their verification."""
+
+from repro.secure.designs import (
+    SECURE_BASELINES,
+    SECURE_CAPABILITY,
+    SECURE_DEVTOKEN,
+    SECURE_PUBKEY,
+)
+from repro.secure.verifier import SecurityVerdict, verify_all_baselines, verify_design
+
+__all__ = [
+    "SECURE_BASELINES",
+    "SECURE_CAPABILITY",
+    "SECURE_DEVTOKEN",
+    "SECURE_PUBKEY",
+    "SecurityVerdict",
+    "verify_all_baselines",
+    "verify_design",
+]

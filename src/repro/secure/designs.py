@@ -1,0 +1,57 @@
+"""Reference secure designs (the paper's recommendations, Section VII).
+
+Three baselines, each published with full protocol knowledge
+(``firmware_available=True`` — security must not rest on obscurity):
+
+* :data:`SECURE_DEVTOKEN` — the paper's "more promising approach":
+  dynamic device tokens requested by the user and delivered locally,
+  strict revocation checks, post-binding authorization.
+* :data:`SECURE_CAPABILITY` — SmartThings-style capability binding: the
+  BindToken is the authority and must travel through the device,
+  proving local co-presence (ownership confirmation).
+* :data:`SECURE_PUBKEY` — the AWS/IBM/Google infrastructure design:
+  per-device key pairs, every device message signed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+
+SECURE_DEVTOKEN = VendorDesign(
+    name="Secure-DevToken",
+    device_type="smart-plug",
+    device_auth=DeviceAuthMode.DEV_TOKEN,
+    device_auth_known=DeviceAuthMode.DEV_TOKEN,
+    firmware_available=True,
+    post_binding_token=True,
+    id_scheme="random-hex",
+)
+
+SECURE_CAPABILITY = VendorDesign(
+    name="Secure-Capability",
+    device_type="smart-plug",
+    device_auth=DeviceAuthMode.DEV_TOKEN,
+    device_auth_known=DeviceAuthMode.DEV_TOKEN,
+    firmware_available=True,
+    bind_schema=BindSchema.CAPABILITY,
+    bind_sender=BindSender.DEVICE,
+    id_scheme="random-hex",
+)
+
+SECURE_PUBKEY = VendorDesign(
+    name="Secure-PubKey",
+    device_type="smart-plug",
+    device_auth=DeviceAuthMode.PUBKEY,
+    device_auth_known=DeviceAuthMode.PUBKEY,
+    firmware_available=True,
+    post_binding_token=True,
+    id_scheme="random-hex",
+)
+
+SECURE_BASELINES: List[VendorDesign] = [
+    SECURE_DEVTOKEN,
+    SECURE_CAPABILITY,
+    SECURE_PUBKEY,
+]

@@ -1,0 +1,14 @@
+"""Simulation kernel: virtual clock, event scheduler, seeded randomness."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.environment import Environment
+from repro.sim.rand import DeterministicRandom
+from repro.sim.scheduler import EventHandle, Scheduler
+
+__all__ = [
+    "DeterministicRandom",
+    "Environment",
+    "EventHandle",
+    "Scheduler",
+    "VirtualClock",
+]

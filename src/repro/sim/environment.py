@@ -1,0 +1,48 @@
+"""The simulation environment: clock + scheduler + RNG in one handle.
+
+Every simulated component (cloud, device, app, attacker, network)
+receives the same :class:`Environment`, so the whole world shares one
+timeline and one seeded randomness stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rand import DeterministicRandom
+from repro.sim.scheduler import EventHandle, Scheduler
+
+
+class Environment:
+    """Shared simulation context."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.scheduler = Scheduler(self.clock)
+        self.rng = DeterministicRandom(seed)
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def run_for(self, duration: float) -> int:
+        """Advance the world by *duration* virtual seconds."""
+        return self.scheduler.run_for(duration)
+
+    def run_until(self, time: float) -> int:
+        """Advance the world to absolute *time*."""
+        return self.scheduler.run_until(time)
+
+    # -- scheduling shortcuts ---------------------------------------------
+
+    def after(self, delay: float, callback) -> EventHandle:
+        return self.scheduler.after(delay, callback)
+
+    def every(self, interval: float, callback, start_delay: Optional[float] = None) -> EventHandle:
+        return self.scheduler.every(interval, callback, start_delay=start_delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Environment(t={self.now:.3f}, pending={len(self.scheduler)})"

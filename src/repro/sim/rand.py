@@ -1,0 +1,72 @@
+"""Seeded randomness for the simulation.
+
+A single :class:`DeterministicRandom` instance is threaded through the
+environment so that token generation, MAC assignment, telemetry noise
+and attack sampling are all reproducible from one seed.  Tokens are
+generated from the seeded stream — they model *unguessable* secrets, not
+cryptographic ones (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import zlib
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+_HEX = "0123456789abcdef"
+_ALNUM = string.ascii_lowercase + string.digits
+
+
+class DeterministicRandom:
+    """Thin wrapper over :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- generic ---------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def choice(self, options: Sequence[T]) -> T:
+        return self._rng.choice(options)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    # -- identifiers -----------------------------------------------------
+
+    def hex_string(self, length: int) -> str:
+        """A lowercase hex string of *length* characters."""
+        return "".join(self._rng.choice(_HEX) for _ in range(length))
+
+    def token(self, length: int = 32) -> str:
+        """An opaque session/binding token (alphanumeric)."""
+        return "".join(self._rng.choice(_ALNUM) for _ in range(length))
+
+    def mac_suffix(self) -> str:
+        """The 3 device-specific bytes of a MAC address, as ``xx:xx:xx``."""
+        return ":".join(self.hex_string(2) for _ in range(3))
+
+    def serial_digits(self, digits: int) -> str:
+        """A numeric serial of exactly *digits* digits (may lead with 0)."""
+        return "".join(self._rng.choice(string.digits) for _ in range(digits))
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """A derived, independent stream (stable for a given seed+label).
+
+        Uses CRC32 rather than ``hash()`` so the derivation survives
+        Python's per-process hash randomization.
+        """
+        derived = zlib.crc32(f"{self.seed}/{label}".encode("utf-8"))
+        return DeterministicRandom(derived)

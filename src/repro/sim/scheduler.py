@@ -1,0 +1,134 @@
+"""Deterministic discrete-event scheduler.
+
+A minimal priority-queue event loop: callbacks are executed in
+timestamp order, ties broken by insertion order, so every run of a
+scenario is bit-for-bit reproducible.  Periodic events (device
+heartbeats, the cloud's liveness sweep) are built from one-shot events
+that re-schedule themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class Scheduler:
+    """Priority-queue event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: List[_Entry] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def at(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* at absolute simulation *time*."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past (t={time} < now={self.clock.now})"
+            )
+        entry = _Entry(time, next(self._counter), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def after(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule *callback* after *delay* virtual seconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.at(self.clock.now + delay, callback)
+
+    def every(self, interval: float, callback: Callback, start_delay: Optional[float] = None) -> EventHandle:
+        """Schedule *callback* periodically; returns the first event's handle.
+
+        Cancelling the returned handle stops the chain *before its next
+        firing*; callers that need immediate teardown should make the
+        callback itself a no-op (the device base class does this via its
+        ``powered`` flag).
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        first_delay = interval if start_delay is None else start_delay
+
+        state = {"handle": None}
+
+        def tick() -> None:
+            callback()
+            state["handle"] = self.after(interval, tick)
+
+        handle = self.after(first_delay, tick)
+        state["handle"] = handle
+        return handle
+
+    def step(self) -> bool:
+        """Run the single earliest pending event; return False if none."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.clock.advance_to(entry.time)
+            entry.callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: int = 1_000_000) -> int:
+        """Run all events with timestamp <= *time*; returns events run.
+
+        The clock ends exactly at *time* even if the queue drains early.
+        """
+        executed = 0
+        while self._queue and executed < max_events:
+            entry = self._queue[0]
+            if entry.time > time:
+                break
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.clock.advance_to(entry.time)
+            entry.callback()
+            executed += 1
+        if executed >= max_events:
+            raise SimulationError("event budget exhausted; livelock suspected")
+        if time > self.clock.now:
+            self.clock.advance_to(time)
+        return executed
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run all events within the next *duration* virtual seconds."""
+        return self.run_until(self.clock.now + duration, max_events=max_events)

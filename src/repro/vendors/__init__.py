@@ -1,0 +1,38 @@
+"""The ten studied vendors: design profiles and published ground truth."""
+
+from repro.vendors.catalog import PAPER_ROWS_BY_VENDOR, PAPER_TABLE_III, PaperRow
+from repro.vendors.profiles import (
+    BELKIN,
+    BROADLINK,
+    DLINK,
+    ELINK,
+    KONKE,
+    LIGHTSTORY,
+    ORVIBO,
+    OZWI,
+    PHILIPS_HUE,
+    STUDIED_VENDORS,
+    TPLINK,
+    VENDORS_BY_NAME,
+    vendor,
+)
+
+__all__ = [
+    "BELKIN",
+    "BROADLINK",
+    "DLINK",
+    "ELINK",
+    "KONKE",
+    "LIGHTSTORY",
+    "ORVIBO",
+    "OZWI",
+    "PAPER_ROWS_BY_VENDOR",
+    "PAPER_TABLE_III",
+    "PHILIPS_HUE",
+    "PaperRow",
+    "STUDIED_VENDORS",
+    "TPLINK",
+    "VENDORS_BY_NAME",
+    "PaperRow",
+    "vendor",
+]

@@ -1,0 +1,60 @@
+"""Table III ground truth: the paper's published evaluation cells.
+
+The reproduction *computes* its Table III by running every attack
+against every vendor profile (``repro.analysis.evaluator``); this module
+records what the paper printed, so tests can assert cell-for-cell
+agreement.  Cell vocabulary:
+
+* ``"yes"`` — attack successfully launched (paper: check mark)
+* ``"no"`` — attack failed to launch (paper: cross)
+* ``"O"`` — unable to confirm due to firmware challenges
+* ``"N.A."`` — not applicable
+* A3/A4 cells name the successful variants (e.g. ``"A3-1 & A3-4"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One published row of Table III."""
+
+    index: int
+    vendor: str
+    device_type: str
+    status: str      # "DevToken" | "DevId" | "O"
+    bind: str        # "Sent by the app" | "Sent by the device"
+    unbind: str      # e.g. "(DevId,UserToken)" | "N.A." | "... & DevId"
+    a1: str
+    a2: str
+    a3: str
+    a4: str
+
+
+PAPER_TABLE_III: Tuple[PaperRow, ...] = (
+    PaperRow(1, "Belkin", "Smart Plug", "DevToken", "Sent by the app",
+             "(DevId,UserToken)", "no", "yes", "A3-2", "no"),
+    PaperRow(2, "BroadLink", "Smart Plug", "O", "Sent by the app",
+             "(DevId,UserToken)", "O", "yes", "no", "no"),
+    PaperRow(3, "KONKE", "Smart Socket", "DevToken", "Sent by the app",
+             "N.A.", "no", "no", "A3-3", "no"),
+    PaperRow(4, "Lightstory", "Smart Plug", "DevToken", "Sent by the app",
+             "(DevId,UserToken)", "no", "yes", "no", "no"),
+    PaperRow(5, "Orvibo", "Smart Plug", "O", "Sent by the app",
+             "(DevId,UserToken)", "O", "yes", "A3-2", "no"),
+    PaperRow(6, "OZWI", "IP Camera", "DevId", "Sent by the app",
+             "(DevId,UserToken)", "O", "yes", "no", "A4-2"),
+    PaperRow(7, "Philips Hue", "Smart Bulb", "O", "Sent by the app",
+             "(DevId,UserToken)", "O", "no", "no", "no"),
+    PaperRow(8, "TP-LINK", "Smart Bulb", "DevId", "Sent by the device",
+             "(DevId,UserToken) & DevId", "no", "no", "A3-1 & A3-4", "A4-3"),
+    PaperRow(9, "E-Link Smart", "IP Camera", "DevId", "Sent by the app",
+             "(DevId,UserToken)", "O", "no", "no", "A4-1"),
+    PaperRow(10, "D-LINK", "Smart Plug", "DevId", "Sent by the app",
+             "(DevId,UserToken)", "yes", "yes", "no", "no"),
+)
+
+PAPER_ROWS_BY_VENDOR: Dict[str, PaperRow] = {row.vendor: row for row in PAPER_TABLE_III}

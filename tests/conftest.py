@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.policy import VendorDesign
+from repro.net.network import Network
+from repro.net.provisioning import ProvisioningAir
+from repro.scenario import Deployment
+from repro.sim.environment import Environment
+from repro.vendors import STUDIED_VENDORS, vendor
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment(seed=42)
+
+
+@pytest.fixture
+def network(env: Environment) -> Network:
+    return Network(env)
+
+
+@pytest.fixture
+def air() -> ProvisioningAir:
+    return ProvisioningAir()
+
+
+@pytest.fixture
+def generic_design() -> VendorDesign:
+    """A plain DevToken/ACL design for substrate-level tests."""
+    return VendorDesign(
+        name="TestVendor",
+        device_type="smart-plug",
+        id_scheme="serial-number",
+        id_serial_digits=8,
+    )
+
+
+@pytest.fixture
+def deployment(generic_design: VendorDesign) -> Deployment:
+    return Deployment(generic_design, seed=42)
+
+
+def make_deployment(design_name: str, seed: int = 0) -> Deployment:
+    """Helper for vendor-specific tests."""
+    return Deployment(vendor(design_name), seed=seed)
+
+
+@pytest.fixture(params=[design.name for design in STUDIED_VENDORS])
+def each_vendor_name(request) -> str:
+    return request.param

@@ -1,0 +1,41 @@
+"""Test harness utilities: a cloud with bare probe nodes.
+
+Lets endpoint tests send hand-crafted messages to the cloud from an
+internet node, without going through the app/device agents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cloud.policy import VendorDesign
+from repro.cloud.service import CloudService
+from repro.core.errors import RequestRejected
+from repro.core.messages import Message
+from repro.net.network import Network
+from repro.sim.environment import Environment
+
+
+class CloudHarness:
+    """A cloud plus two internet probe nodes ("wire" senders)."""
+
+    def __init__(self, design: VendorDesign, seed: int = 0) -> None:
+        self.env = Environment(seed=seed)
+        self.network = Network(self.env)
+        self.cloud = CloudService(self.env, self.network, design)
+        self.network.add_internet_node("probe-a", None, "198.51.100.1")
+        self.network.add_internet_node("probe-b", None, "198.51.100.2")
+
+    def send(self, message: Message, src: str = "probe-a") -> Tuple[bool, str, Optional[Message]]:
+        """Deliver a raw message; returns (accepted, code, response)."""
+        try:
+            response = self.network.request(src, self.cloud.node_name, message)
+        except RequestRejected as exc:
+            return False, exc.code, None
+        return True, "ok", response
+
+    def must(self, message: Message, src: str = "probe-a") -> Message:
+        """Deliver and assert acceptance; returns the response."""
+        accepted, code, response = self.send(message, src)
+        assert accepted, f"request unexpectedly rejected: {code}"
+        return response

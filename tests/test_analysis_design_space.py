@@ -1,0 +1,113 @@
+"""Tests for the closed-form model: prediction vs paper vs simulation."""
+
+import pytest
+
+from repro.analysis.design_space import (
+    conformance_diff,
+    enumerate_design_space,
+    predict,
+    sweep_design_space,
+)
+from repro.attacks.results import Outcome
+from repro.cloud.policy import BindSchema, DeviceAuthMode
+from repro.secure import SECURE_BASELINES, SECURE_CAPABILITY
+from repro.vendors import STUDIED_VENDORS, vendor
+
+
+class TestPredictionsMatchPaper:
+    """The closed-form model alone reproduces every Table III cell."""
+
+    @pytest.mark.parametrize("design", STUDIED_VENDORS, ids=lambda d: d.name)
+    def test_prediction_reproduces_paper_cells(self, design):
+        from repro.vendors.catalog import PAPER_ROWS_BY_VENDOR
+
+        outcomes = predict(design)
+        row = PAPER_ROWS_BY_VENDOR[design.name]
+        assert outcomes["A1"].value == row.a1
+        a2 = "yes" if outcomes["A2"] is Outcome.SUCCESS else "no"
+        assert a2 == row.a2
+        a3 = " & ".join(
+            a for a in ("A3-1", "A3-2", "A3-3", "A3-4")
+            if outcomes[a] is Outcome.SUCCESS
+        ) or "no"
+        assert a3 == row.a3
+        a4 = next(
+            (a for a in ("A4-1", "A4-2", "A4-3") if outcomes[a] is Outcome.SUCCESS),
+            "no",
+        )
+        assert a4 == row.a4
+
+
+class TestConformance:
+    """The closed-form model and the simulation agree."""
+
+    @pytest.mark.parametrize("design", STUDIED_VENDORS, ids=lambda d: d.name)
+    def test_simulation_agrees_on_studied_vendors(self, design):
+        assert conformance_diff(design, seed=5) == {}
+
+    @pytest.mark.parametrize("design", SECURE_BASELINES, ids=lambda d: d.name)
+    def test_simulation_agrees_on_secure_baselines(self, design):
+        assert conformance_diff(design, seed=5) == {}
+
+    def test_simulation_agrees_on_sampled_design_space(self):
+        # Sample the grid deterministically and demand agreement.
+        designs = list(enumerate_design_space())
+        sample = designs[:: max(1, len(designs) // 20)][:20]
+        disagreements = {
+            design.name: diff
+            for design in sample
+            if (diff := conformance_diff(design, seed=5))
+        }
+        assert not disagreements, disagreements
+
+
+class TestSweep:
+    def test_space_is_substantial_and_consistent(self):
+        designs = list(enumerate_design_space())
+        assert len(designs) > 500
+        names = {d.name for d in designs}
+        assert len(names) == len(designs)
+
+    def test_summary_counts_are_coherent(self):
+        summary = sweep_design_space()
+        assert summary.total > 500
+        assert 0 < summary.fully_secure < summary.total
+        for count in (summary.hijackable, summary.dos_able,
+                      summary.unbindable_by_attacker, summary.data_exposed):
+            assert 0 <= count <= summary.total
+        assert "design space" in summary.render()
+
+    def test_every_fully_secure_design_has_strong_auth_or_post_token(self):
+        # Structural theorem: no fully-secure ACL design authenticates
+        # devices with a bare static DevId and no post-binding token.
+        for design in enumerate_design_space():
+            outcomes = predict(design)
+            broken = any(o is Outcome.SUCCESS for o in outcomes.values())
+            if broken:
+                continue
+            assert (
+                design.device_auth is not DeviceAuthMode.DEV_ID
+                or design.post_binding_token
+            ), design.name
+
+
+class TestCapabilityPrediction:
+    def test_capability_design_predicted_secure(self):
+        outcomes = predict(SECURE_CAPABILITY)
+        assert all(
+            o in (Outcome.FAILED, Outcome.NOT_APPLICABLE) for o in outcomes.values()
+        )
+
+    def test_capability_with_devid_status_still_leaks_data(self):
+        from repro.cloud.policy import BindSender, VendorDesign
+
+        design = VendorDesign(
+            name="cap-devid", bind_schema=BindSchema.CAPABILITY,
+            bind_sender=BindSender.DEVICE,
+            device_auth=DeviceAuthMode.DEV_ID,
+            device_auth_known=DeviceAuthMode.DEV_ID,
+            firmware_available=True, id_scheme="serial-number",
+        )
+        outcomes = predict(design)
+        assert outcomes["A1"] is Outcome.SUCCESS  # binding is not the only surface
+        assert outcomes["A4-1"] is Outcome.FAILED

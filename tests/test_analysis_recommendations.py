@@ -1,0 +1,63 @@
+"""Tests for the Section VII lessons-learned checker."""
+
+from repro.analysis.recommendations import check_design, render_findings
+from repro.secure import SECURE_CAPABILITY, SECURE_DEVTOKEN, SECURE_PUBKEY
+from repro.vendors import STUDIED_VENDORS, vendor
+
+
+def rules(design):
+    return {finding.rule for finding in check_design(design)}
+
+
+class TestVendorFindings:
+    def test_every_studied_vendor_has_findings(self):
+        for design in STUDIED_VENDORS:
+            assert check_design(design), design.name
+
+    def test_dev_id_vendors_flagged_for_static_auth(self):
+        for name in ("OZWI", "TP-LINK", "E-Link Smart", "D-LINK"):
+            assert "static-device-id-auth" in rules(vendor(name)), name
+
+    def test_dev_token_vendors_not_flagged_for_static_auth(self):
+        for name in ("Belkin", "KONKE", "Lightstory"):
+            assert "static-device-id-auth" not in rules(vendor(name)), name
+
+    def test_konke_flagged_for_revocation_by_replacement(self):
+        assert "revocation-by-replacement" in rules(vendor("KONKE"))
+
+    def test_belkin_orvibo_flagged_for_unchecked_unbind(self):
+        assert "unchecked-unbind" in rules(vendor("Belkin"))
+        assert "unchecked-unbind" in rules(vendor("Orvibo"))
+
+    def test_tplink_flagged_for_credential_on_device_and_bare_unbind(self):
+        tplink = rules(vendor("TP-LINK"))
+        assert "credential-on-device" in tplink
+        assert "bare-devid-unbind" in tplink
+
+    def test_short_serials_flagged(self):
+        assert "short-serial-id" in rules(vendor("OZWI"))
+        assert "short-serial-id" in rules(vendor("E-Link Smart"))
+        assert "short-serial-id" not in rules(vendor("D-LINK"))  # 10 digits
+
+    def test_mac_ids_flagged(self):
+        assert "mac-derived-id" in rules(vendor("Philips Hue"))
+
+    def test_label_leak_flagged(self):
+        assert "id-on-label" in rules(vendor("D-LINK"))
+        assert "id-on-label" not in rules(vendor("BroadLink"))
+
+
+class TestSecureBaselineFindings:
+    def test_capability_baseline_is_clean(self):
+        assert not check_design(SECURE_CAPABILITY)
+
+    def test_devtoken_baseline_is_clean(self):
+        assert not check_design(SECURE_DEVTOKEN)
+
+    def test_pubkey_baseline_is_clean(self):
+        assert not check_design(SECURE_PUBKEY)
+
+    def test_render(self):
+        text = render_findings(vendor("TP-LINK"))
+        assert "TP-LINK" in text and "finding" in text
+        assert render_findings(SECURE_CAPABILITY).endswith("no findings")

@@ -1,0 +1,56 @@
+"""Tests for the Figure 1/3/4 trace generators."""
+
+import pytest
+
+from repro.analysis.traces import trace_binding_creation, trace_device_auth, trace_lifecycle
+from repro.vendors import STUDIED_VENDORS, vendor
+
+
+class TestLifecycleTrace:
+    def test_contains_all_five_phases(self):
+        text = trace_lifecycle(vendor("Belkin"))
+        for phase in ("user authentication", "local configuration",
+                      "binding creation", "remote control", "binding revocation"):
+            assert phase in text
+
+    def test_app_initiated_shape(self):
+        text = trace_lifecycle(vendor("Belkin"))
+        assert "Bind:(DevId,UserToken)" in text
+        assert "DeliverDevToken" in text
+        assert "Unbind:(DevId,UserToken)" in text
+
+    def test_device_initiated_shape(self):
+        text = trace_lifecycle(vendor("TP-LINK"))
+        assert "Bind:(DevId,UserId,UserPw)" in text
+        assert "DeliverUserCredential" in text
+
+    def test_philips_trace_shows_button_press(self):
+        text = trace_lifecycle(vendor("Philips Hue"))
+        # the button press is a fresh registration status before the bind
+        assert text.index("binding creation") > text.index("Status:")
+
+    def test_roles_are_readable(self):
+        text = trace_lifecycle(vendor("Belkin"))
+        assert "app" in text and "device" in text and "cloud" in text
+        assert "app:victim" not in text  # node names are translated
+
+    @pytest.mark.parametrize("design", STUDIED_VENDORS, ids=lambda d: d.name)
+    def test_every_vendor_produces_a_trace(self, design):
+        text = trace_lifecycle(design)
+        assert "Figure 1" in text and design.name in text
+
+
+class TestDesignTraces:
+    def test_device_auth_covers_three_designs(self):
+        text = trace_device_auth()
+        assert "Status:DevToken" in text
+        assert "Status:DevId" in text
+        assert "Status:Signed" in text
+        assert text.count("shadow state: online") == 3
+
+    def test_binding_creation_covers_three_designs(self):
+        text = trace_binding_creation()
+        assert "Bind:(DevId,UserToken)" in text
+        assert "Bind:(DevId,UserId,UserPw)" in text
+        assert "Bind:BindToken" in text
+        assert text.count("state: control") == 3

@@ -1,0 +1,148 @@
+"""Integration tests: the mobile app's Figure 1 flows and the scenario
+builder's world invariants."""
+
+import pytest
+
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.core.errors import FirewallBlocked, ProtocolError
+from repro.scenario import Deployment
+from repro.secure import SECURE_CAPABILITY
+from repro.vendors import STUDIED_VENDORS, vendor
+
+
+def make_world(**overrides) -> Deployment:
+    defaults = dict(name="T", device_type="smart-plug", id_scheme="serial-number")
+    defaults.update(overrides)
+    return Deployment(VendorDesign(**defaults), seed=6)
+
+
+class TestFullSetupFlows:
+    def test_dev_token_acl_flow(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_TOKEN)
+        assert world.victim_full_setup()
+        assert world.shadow_state() == "control"
+        assert world.bound_user() == "alice@example.com"
+
+    def test_dev_id_acl_flow(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_ID)
+        assert world.victim_full_setup()
+        assert world.shadow_state() == "control"
+
+    def test_pubkey_flow(self):
+        world = make_world(device_auth=DeviceAuthMode.PUBKEY)
+        assert world.victim_full_setup()
+        assert world.shadow_state() == "control"
+
+    def test_device_initiated_flow(self):
+        world = make_world(
+            device_auth=DeviceAuthMode.DEV_ID, bind_sender=BindSender.DEVICE,
+            bind_requires_online_device=True,
+        )
+        assert world.victim_full_setup()
+        assert world.bound_user() == "alice@example.com"
+
+    def test_capability_flow(self):
+        world = Deployment(SECURE_CAPABILITY, seed=6)
+        assert world.victim_full_setup()
+        assert world.shadow_state() == "control"
+        assert world.victim.device.post_binding_token is not None
+
+    def test_every_studied_vendor_setup_works(self):
+        for design in STUDIED_VENDORS:
+            world = Deployment(design, seed=6)
+            assert world.victim_full_setup(), f"setup failed for {design.name}"
+            assert world.shadow_state() == "control"
+
+    def test_post_binding_token_flow(self):
+        world = Deployment(vendor("D-LINK"), seed=6)
+        assert world.victim_full_setup()
+        device_id = world.victim.device.device_id
+        known = world.victim.app.devices[device_id]
+        assert known.post_binding_token is not None
+        assert world.victim.device.post_binding_token == known.post_binding_token
+
+
+class TestRemoteOperation:
+    def test_control_works_from_cellular(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_ID)
+        assert world.victim_full_setup()
+        app = world.victim.app
+        world.network.leave_lan(app.node_name)
+        world.network.add_internet_node("cell-tower", None, "100.64.0.1")
+        # give the phone a cellular uplink by re-adding is not possible;
+        # instead verify LAN-less phones cannot reach the cloud, then
+        # rejoin Wi-Fi and control again.
+        with pytest.raises(Exception):
+            app.control(world.victim.device.device_id, "on")
+        app.join_wifi(world.victim.lan_id, world.victim.wifi_passphrase)
+        response = app.control(world.victim.device.device_id, "on")
+        assert response.ok
+
+    def test_schedule_and_query(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_ID)
+        assert world.victim_full_setup()
+        device_id = world.victim.device.device_id
+        world.victim.app.set_schedule(device_id, {"on": "07:00"})
+        response = world.victim.app.query(device_id)
+        assert response.payload["schedule"] == {"on": "07:00"}
+        assert response.payload["telemetry"] is not None
+
+    def test_remove_device_revokes_binding(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_ID)
+        assert world.victim_full_setup()
+        assert world.victim.app.remove_device(world.victim.device.device_id)
+        assert world.bound_user() is None
+        assert world.shadow_state() == "online"
+
+    def test_remove_unbound_device_returns_false(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_ID)
+        world.victim.app.login()
+        assert not world.victim.app.remove_device(world.victim.device.device_id)
+
+    def test_control_requires_login(self):
+        world = make_world()
+        with pytest.raises(ProtocolError):
+            world.victim.app.control("dev", "on")
+
+
+class TestDeploymentInvariants:
+    def test_two_parties_have_distinct_ids_and_accounts(self):
+        world = Deployment(vendor("OZWI"), seed=6)
+        assert world.victim.device.device_id != world.attacker_party.device.device_id
+        assert world.victim.user_id != world.attacker_party.user_id
+
+    def test_both_devices_registered_in_cloud(self):
+        world = Deployment(vendor("OZWI"), seed=6)
+        registry = world.cloud.registry
+        assert registry.is_registered(world.victim.device.device_id)
+        assert registry.is_registered(world.attacker_party.device.device_id)
+
+    def test_attacker_cannot_reach_victim_lan(self):
+        world = Deployment(vendor("OZWI"), seed=6)
+        from repro.net.discovery import SsdpSearch
+
+        with pytest.raises(FirewallBlocked):
+            world.network.request(
+                world.attacker_party.app.node_name,
+                world.victim.device.node_name,
+                SsdpSearch(),
+            )
+
+    def test_attacker_own_setup_is_independent(self):
+        world = Deployment(vendor("Belkin"), seed=6)
+        assert world.victim_full_setup()
+        assert world.attacker_own_setup()
+        assert world.bound_user(world.victim) == world.victim.user_id
+        assert world.bound_user(world.attacker_party) == world.attacker_party.user_id
+
+    def test_partial_setup_stops_in_online_state(self):
+        world = Deployment(vendor("OZWI"), seed=6)
+        world.victim_partial_setup_online_unbound()
+        assert world.shadow_state() == "online"
+        assert world.bound_user() is None
+
+    def test_victim_can_control_ground_truth(self):
+        world = Deployment(vendor("OZWI"), seed=6)
+        assert not world.victim_can_control()  # before setup
+        assert world.victim_full_setup()
+        assert world.victim_can_control()

@@ -1,0 +1,153 @@
+"""Tests for the IFTTT-style automation engine and the A1 cascade."""
+
+import pytest
+
+from repro.app.automation import AutomationEngine, Rule
+from repro.attacks.attacker import RemoteAttacker
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.errors import ConfigurationError
+from repro.scenario import Deployment
+
+
+def make_world():
+    design = VendorDesign(
+        name="T", device_type="smart-plug",
+        device_auth=DeviceAuthMode.DEV_ID,
+        device_auth_known=DeviceAuthMode.DEV_ID,
+        firmware_available=True,
+        id_scheme="serial-number",
+    )
+    world = Deployment(design, seed=21)
+    assert world.victim_full_setup()
+    sensor = world.add_victim_device("temp-sensor", label="sensor")
+    assert world.setup_victim_device(sensor)
+    return world, sensor
+
+
+def cooling_rule(sensor, plug) -> Rule:
+    return Rule(
+        name="cool-when-hot",
+        trigger_device=sensor.device_id,
+        metric="temperature_c",
+        op=">",
+        threshold=28.0,
+        action_device=plug.device_id,
+        command="on",
+    )
+
+
+class TestRule:
+    def test_operator_validation(self):
+        with pytest.raises(ConfigurationError):
+            Rule("bad", "d", "m", "~", 1, "d2", "on")
+
+    def test_matches(self):
+        rule = Rule("r", "d", "temp", ">", 28.0, "d2", "on")
+        assert rule.matches({"temp": 29.0})
+        assert not rule.matches({"temp": 27.0})
+        assert not rule.matches({"other": 99.0})
+        assert not rule.matches(None)
+        assert not rule.matches({"temp": "not-a-number"})
+
+    @pytest.mark.parametrize("op,value,expected", [
+        (">", 3, True), (">=", 4, True), ("<", 3, False),
+        ("<=", 4, True), ("==", 4, True), ("!=", 4, False),
+    ])
+    def test_all_operators(self, op, value, expected):
+        rule = Rule("r", "d", "m", op, value, "d2", "on")
+        assert rule.matches({"m": 4}) is expected
+
+
+class TestEngine:
+    def test_rule_fires_on_real_telemetry(self):
+        world, sensor = make_world()
+        plug = world.victim.device
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, plug))
+
+        # Force hot readings through the real device channel.
+        sensor._thermo.base_c = 31.0
+        world.run_heartbeats(1)
+        firings = engine.evaluate_once()
+        assert [f.rule for f in firings] == ["cool-when-hot"]
+        assert firings[0].delivered
+        world.run_heartbeats(1)
+        assert plug.state["on"] is True
+
+    def test_rule_does_not_fire_below_threshold(self):
+        world, sensor = make_world()
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, world.victim.device))
+        world.run_heartbeats(1)  # ambient ~22C
+        assert engine.evaluate_once() == []
+
+    def test_edge_triggering_prevents_refiring(self):
+        world, sensor = make_world()
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, world.victim.device))
+        sensor._thermo.base_c = 31.0
+        world.run_heartbeats(1)
+        assert len(engine.evaluate_once()) == 1
+        world.run_heartbeats(1)
+        assert engine.evaluate_once() == []  # still hot: latched
+        sensor._thermo.base_c = 20.0
+        world.run_heartbeats(1)
+        assert engine.evaluate_once() == []  # condition cleared: re-armed
+        sensor._thermo.base_c = 31.0
+        world.run_heartbeats(1)
+        assert len(engine.evaluate_once()) == 1  # fires again
+
+    def test_periodic_polling(self):
+        world, sensor = make_world()
+        engine = AutomationEngine(world.env, world.victim.app, poll_interval=5.0)
+        engine.add_rule(cooling_rule(sensor, world.victim.device))
+        sensor._thermo.base_c = 31.0
+        engine.start()
+        world.run(20.0)
+        assert engine.firings
+        engine.stop()
+
+    def test_duplicate_rule_name_rejected(self):
+        world, sensor = make_world()
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, world.victim.device))
+        with pytest.raises(ConfigurationError):
+            engine.add_rule(cooling_rule(sensor, world.victim.device))
+
+    def test_remove_rule(self):
+        world, sensor = make_world()
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, world.victim.device))
+        assert engine.remove_rule("cool-when-hot")
+        assert not engine.remove_rule("cool-when-hot")
+        assert engine.evaluate_once() == []
+
+
+class TestA1Cascade:
+    def test_forged_telemetry_drives_physical_action(self):
+        """Section V-B's cascade: an A1 injection against the sensor
+        turns on the AC plug, with no attack on the plug at all."""
+        world, sensor = make_world()
+        plug = world.victim.device
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(cooling_rule(sensor, plug))
+
+        # sanity: ambient temperature does not trigger
+        world.run_heartbeats(1)
+        assert engine.evaluate_once() == []
+        assert plug.state["on"] is False
+
+        # the attacker forges one sensor status with a heat-wave reading
+        attacker = RemoteAttacker(world)
+        attacker.login()
+        attacker.learn_victim_device_id(sensor.device_id)
+        accepted, _, _ = attacker.send(
+            attacker.forge_status({"temperature_c": 45.0})
+        )
+        assert accepted
+
+        firings = engine.evaluate_once()
+        assert [f.rule for f in firings] == ["cool-when-hot"]
+        assert firings[0].observed == 45.0
+        world.run_heartbeats(1)
+        assert plug.state["on"] is True  # the cascade reached the actuator

@@ -1,0 +1,97 @@
+"""Tests for the MITM/differential traffic-analysis tooling."""
+
+import pytest
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.traffic_analysis import (
+    analyze_own_traffic,
+    craft_foreign_bind,
+    differing_fields,
+    locate_id_field,
+)
+from repro.core.messages import BindMessage, StatusMessage, UnbindMessage
+from repro.scenario import Deployment
+from repro.vendors import vendor
+
+
+class TestDifferentialAnalysis:
+    def test_differing_fields_found(self):
+        a = BindMessage(device_id="dev-1", user_token="tok")
+        b = BindMessage(device_id="dev-2", user_token="tok")
+        assert differing_fields(a, b) == {"device_id"}
+
+    def test_identical_messages_have_no_diff(self):
+        a = BindMessage(device_id="dev-1", user_token="tok")
+        assert differing_fields(a, a) == set()
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            differing_fields(BindMessage(device_id="d"), UnbindMessage(device_id="d"))
+
+    def test_locate_id_field(self):
+        message = StatusMessage(device_id="aa:bb:cc:dd:ee:ff")
+        assert locate_id_field(message, "aa:bb:cc:dd:ee:ff") == "device_id"
+        assert locate_id_field(message, "not-present") is None
+
+
+class TestPlaybookExtraction:
+    def test_app_initiated_vendor_yields_bind_playbook(self):
+        deployment = Deployment(vendor("OZWI"), seed=41)
+        attacker = RemoteAttacker(deployment)
+        playbook = analyze_own_traffic(deployment, attacker)
+        assert playbook.bind_shape == "Bind:(DevId,UserToken)"
+        assert playbook.unbind_shape == "Unbind:(DevId,UserToken)"
+        assert playbook.id_field == "device_id"
+        assert playbook.can_forge_bind and playbook.can_forge_unbind
+        assert "LoginRequest" in playbook.observed_types
+
+    def test_device_initiated_vendor_shows_no_app_bind(self):
+        # TP-LINK's binding is sent by the device, so the attacker's own
+        # app traffic contains no BindMessage — matching the paper's "9
+        # devices send binding messages by apps" (one does not).
+        deployment = Deployment(vendor("TP-LINK"), seed=41)
+        attacker = RemoteAttacker(deployment)
+        playbook = analyze_own_traffic(deployment, attacker)
+        assert playbook.bind_shape is None
+        assert playbook.unbind_shape == "Unbind:(DevId,UserToken)"
+        assert playbook.id_field == "device_id"
+
+    def test_proxy_saw_only_attacker_traffic(self):
+        deployment = Deployment(vendor("OZWI"), seed=41)
+        attacker = RemoteAttacker(deployment)
+        analyze_own_traffic(deployment, attacker)
+        sources = {p.src for p in attacker.proxy.log}
+        assert sources == {attacker.node}
+
+
+class TestForgery:
+    def test_crafted_bind_carries_victim_id(self):
+        deployment = Deployment(vendor("OZWI"), seed=41)
+        attacker = RemoteAttacker(deployment)
+        playbook = analyze_own_traffic(deployment, attacker)
+        template = attacker.proxy.last(BindMessage)
+        victim_id = deployment.victim.device.device_id
+        forged = craft_foreign_bind(playbook, template, victim_id)
+        assert forged.device_id == victim_id
+        assert forged.user_token == template.user_token  # attacker's own
+
+    def test_crafted_bind_works_end_to_end(self):
+        # The full methodology: observe own traffic, substitute the ID,
+        # replay -> binding DoS, without ever using forge_bind().
+        deployment = Deployment(vendor("OZWI"), seed=41)
+        attacker = RemoteAttacker(deployment)
+        playbook = analyze_own_traffic(deployment, attacker)
+        template = attacker.proxy.last(BindMessage)
+        forged = craft_foreign_bind(
+            playbook, template, deployment.victim.device.device_id
+        )
+        accepted, code, _ = attacker.send(forged)
+        assert accepted, code
+        assert deployment.bound_user() == attacker.party.user_id
+
+    def test_incomplete_playbook_rejected(self):
+        from repro.attacks.traffic_analysis import ForgeryPlaybook
+
+        playbook = ForgeryPlaybook(vendor="x")
+        with pytest.raises(ValueError):
+            craft_foreign_bind(playbook, BindMessage(device_id="d"), "v")

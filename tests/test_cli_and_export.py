@@ -1,0 +1,120 @@
+"""Tests for the CLI and the export formats."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.evaluator import evaluate_all_vendors
+from repro.analysis.export import evaluation_to_dict, to_csv, to_json, to_markdown
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    return evaluate_all_vendors(seed=3)
+
+
+class TestExports:
+    def test_json_roundtrip(self, evaluations):
+        payload = json.loads(to_json(evaluations))
+        assert payload["exact_reproduction"] is True
+        assert len(payload["table"]) == 10
+        assert payload["prevalence"]["A2"] == 6
+        first = payload["table"][0]
+        assert first["vendor"] == "Belkin"
+        assert first["attacks"]["A3-2"]["outcome"] == "yes"
+
+    def test_csv_parses_with_ten_rows(self, evaluations):
+        rows = list(csv.reader(io.StringIO(to_csv(evaluations))))
+        assert rows[0][0] == "vendor"
+        assert len(rows) == 11
+        assert rows[8][0] == "TP-LINK"
+        assert rows[8][7] == "A3-1 & A3-4"  # the A3 column
+        assert rows[8][8] == "A4-3"
+
+    def test_markdown_table_shape(self, evaluations):
+        text = to_markdown(evaluations)
+        lines = text.splitlines()
+        assert lines[0].startswith("| #")
+        assert len(lines) == 12  # header + rule + 10 vendors
+        assert all(line.count("|") == 11 for line in lines if line.startswith("|"))
+
+    def test_evaluation_dict_fields(self, evaluations):
+        record = evaluation_to_dict(evaluations[0])
+        assert set(record) == {"vendor", "device", "cells", "matches_paper", "attacks"}
+        assert record["matches_paper"] is True
+
+
+class TestCli:
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_table1(self, capsys):
+        code, out = self.run(["table1"], capsys)
+        assert code == 0 and "DevToken" in out
+
+    def test_table2(self, capsys):
+        code, out = self.run(["table2"], capsys)
+        assert code == 0 and "A4-3" in out
+
+    def test_table3_text_and_formats(self, capsys):
+        code, out = self.run(["table3"], capsys)
+        assert code == 0 and "exact reproduction" in out
+        code, out = self.run(["table3", "--format", "json"], capsys)
+        assert code == 0 and json.loads(out)["exact_reproduction"]
+        code, out = self.run(["table3", "--format", "markdown"], capsys)
+        assert code == 0 and out.startswith("| #")
+
+    def test_figures(self, capsys):
+        for command, marker in (
+            (["fig1", "--vendor", "TP-LINK"], "Bind:(DevId,UserId,UserPw)"),
+            (["fig2"], "model properties"),
+            (["fig3"], "Status:Signed"),
+            (["fig4"], "Bind:BindToken"),
+        ):
+            code, out = self.run(command, capsys)
+            assert code == 0 and marker in out, command
+
+    def test_attack_command(self, capsys):
+        code, out = self.run(["attack", "OZWI", "A4-2"], capsys)
+        assert code == 0 and "yes" in out
+
+    def test_audit_command(self, capsys):
+        code, out = self.run(["audit", "TP-LINK"], capsys)
+        assert code == 0 and "credential-on-device" in out
+
+    def test_entropy_command(self, capsys):
+        code, out = self.run(["entropy", "--rate", "300"], capsys)
+        assert code == 0 and "mac-address" in out
+
+    def test_sweep_command(self, capsys):
+        code, out = self.run(["sweep"], capsys)
+        assert code == 0 and "design space" in out
+
+    def test_secure_command(self, capsys):
+        code, out = self.run(["secure"], capsys)
+        assert code == 0 and "Secure-Capability" in out
+
+    def test_witness_command(self, capsys):
+        code, out = self.run(["witness", "TP-LINK"], capsys)
+        assert code == 0 and "unbind-type2 -> bind" in out
+
+    def test_fix_command(self, capsys):
+        code, out = self.run(["fix", "E-Link Smart"], capsys)
+        assert code == 0 and "simulation re-check: pass" in out
+
+    def test_fix_command_on_secure_vendor(self, capsys):
+        code, out = self.run(["fix", "Philips Hue"], capsys)
+        assert code == 0 and "already defeats" in out
+
+    def test_unknown_vendor_is_an_error(self, capsys):
+        code = main(["audit", "Nonexistent"])
+        assert code == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,149 @@
+"""Edge-case tests for cloud endpoints not covered by the main suites."""
+
+import pytest
+
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.core.messages import (
+    BindingInfoRequest,
+    BindMessage,
+    BindTokenRequest,
+    ControlMessage,
+    DeviceFetch,
+    EventPollRequest,
+    LoginRequest,
+    ScheduleUpdate,
+    ShareRequest,
+    StatusMessage,
+    UnbindMessage,
+)
+from tests.helpers import CloudHarness
+from tests.test_cloud_endpoints import login, make_harness
+
+
+class TestUnknownMessageHandling:
+    def test_unhandled_message_type_is_a_protocol_error(self):
+        from repro.core.errors import ProtocolError
+        from repro.core.messages import Message
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Exotic(Message):
+            blob: str = ""
+
+        harness = make_harness()
+        with pytest.raises(ProtocolError):
+            harness.network.request("probe-a", "cloud", Exotic())
+
+
+class TestCapabilityEdges:
+    def make(self):
+        return make_harness(
+            bind_schema=BindSchema.CAPABILITY,
+            bind_sender=BindSender.DEVICE,
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+        )
+
+    def test_capability_bind_for_unknown_device(self):
+        harness = self.make()
+        token = login(harness)
+        bind_token = harness.must(BindTokenRequest(token)).token
+        accepted, code, _ = harness.send(
+            BindMessage(device_id="ghost", bind_token=bind_token)
+        )
+        assert not accepted and code == "unknown-device"
+
+    def test_capability_double_bind_rejected(self):
+        harness = self.make()
+        token = login(harness)
+        dev_token = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        harness.must(StatusMessage(device_id="dev-1", dev_token=dev_token), src="probe-b")
+        first = harness.must(BindTokenRequest(token)).token
+        harness.must(BindMessage(device_id="dev-1", bind_token=first), src="probe-b")
+        second = harness.must(BindTokenRequest(token)).token
+        accepted, code, _ = harness.send(
+            BindMessage(device_id="dev-1", bind_token=second), src="probe-b"
+        )
+        assert not accepted and code == "already-bound"
+
+
+class TestBindingInfoEdges:
+    def test_info_requires_bound_user(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(BindingInfoRequest(token, "dev-1"))
+        assert not accepted and code == "not-bound"
+
+    def test_info_hides_other_users_bindings(self):
+        harness = make_harness()
+        harness.must(BindMessage(device_id="dev-1", user_token=login(harness)))
+        other = login(harness, "mallory", "pw-m")
+        accepted, code, _ = harness.send(BindingInfoRequest(other, "dev-1"))
+        assert not accepted and code == "not-bound-user"
+
+    def test_info_returns_confirmation_state(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID, post_binding_token=True)
+        token = login(harness)
+        harness.must(StatusMessage(device_id="dev-1"))
+        response = harness.must(BindMessage(device_id="dev-1", user_token=token))
+        post = response.payload["post_binding_token"]
+        info = harness.must(BindingInfoRequest(token, "dev-1"))
+        assert info.payload["device_confirmed"] is False
+        harness.must(DeviceFetch(device_id="dev-1", post_binding_token=post))
+        info = harness.must(BindingInfoRequest(token, "dev-1"))
+        assert info.payload["device_confirmed"] is True
+
+
+class TestMiscEdges:
+    def test_event_poll_requires_valid_token(self):
+        harness = make_harness()
+        accepted, code, _ = harness.send(EventPollRequest("junk"))
+        assert not accepted and code == "bad-user-token"
+
+    def test_schedule_requires_bound_owner(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token = login(harness)
+        accepted, code, _ = harness.send(ScheduleUpdate(token, "dev-1", {"on": "08:00"}))
+        assert not accepted and code == "not-bound"
+
+    def test_share_requires_existing_binding(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(ShareRequest(token, "dev-1", "mallory"))
+        assert not accepted and code == "not-bound"
+
+    def test_unbind_unknown_device(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(UnbindMessage(device_id="ghost", user_token=token))
+        assert not accepted and code == "unknown-device"
+
+    def test_control_unknown_device(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(ControlMessage(token, "ghost", "on"))
+        assert not accepted and code == "not-bound"
+
+    def test_fetch_ignores_stale_post_token_after_replacement(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID,
+            post_binding_token=True,
+            rebind_replaces_existing=True,
+        )
+        token = login(harness)
+        harness.must(StatusMessage(device_id="dev-1"))
+        old = harness.must(BindMessage(device_id="dev-1", user_token=token))
+        old_post = old.payload["post_binding_token"]
+        other = login(harness, "mallory", "pw-m")
+        harness.must(BindMessage(device_id="dev-1", user_token=other))
+        # the device still presents the OLD binding's token: no confirm
+        harness.must(DeviceFetch(device_id="dev-1", post_binding_token=old_post))
+        binding = harness.cloud.bindings.get("dev-1")
+        assert binding.device_confirmed is False
+
+    def test_audit_records_every_request(self):
+        harness = make_harness()
+        before = len(harness.cloud.audit)
+        harness.must(LoginRequest("alice", "pw-a"))
+        harness.send(LoginRequest("alice", "wrong"))
+        assert len(harness.cloud.audit) == before + 2
+        assert harness.cloud.audit.rejected()

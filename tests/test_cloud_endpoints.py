@@ -1,0 +1,428 @@
+"""Endpoint tests for the cloud handlers: every Figure 3/4 design and
+every policy check, exercised over the wire."""
+
+import pytest
+
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.core.messages import (
+    BindMessage,
+    BindTokenRequest,
+    ControlMessage,
+    DeviceFetch,
+    DevTokenRequest,
+    LoginRequest,
+    QueryRequest,
+    ScheduleUpdate,
+    StatusMessage,
+    UnbindMessage,
+)
+from repro.identity.keys import generate_keypair
+from repro.sim.rand import DeterministicRandom
+from tests.helpers import CloudHarness
+
+
+def make_harness(**overrides) -> CloudHarness:
+    defaults = dict(name="T", device_type="smart-plug", id_scheme="serial-number")
+    defaults.update(overrides)
+    harness = CloudHarness(VendorDesign(**defaults))
+    harness.cloud.accounts.register("alice", "pw-a")
+    harness.cloud.accounts.register("mallory", "pw-m")
+    harness.cloud.manufacture_device("dev-1", "smart-plug")
+    return harness
+
+
+def login(harness: CloudHarness, user: str = "alice", pw: str = "pw-a") -> str:
+    response = harness.must(LoginRequest(user, pw))
+    return response.user_token
+
+
+class TestLoginAndTokens:
+    def test_login_returns_token(self):
+        harness = make_harness()
+        token = login(harness)
+        assert harness.cloud.accounts.user_for_token(token) == "alice"
+
+    def test_bad_login_rejected(self):
+        harness = make_harness()
+        accepted, code, _ = harness.send(LoginRequest("alice", "wrong"))
+        assert not accepted and code == "bad-credentials"
+
+    def test_dev_token_request_dev_token_design(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        token = login(harness)
+        response = harness.must(DevTokenRequest(token, "dev-1"))
+        assert harness.cloud.registry.check_dev_token("dev-1", response.token)
+
+    def test_dev_token_request_rejected_on_dev_id_design(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token = login(harness)
+        accepted, code, _ = harness.send(DevTokenRequest(token, "dev-1"))
+        assert not accepted and code == "unsupported"
+
+    def test_dev_token_request_for_foreign_bound_device_rejected(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        harness.cloud.bindings.create("dev-1", "mallory", now=0.0)
+        harness.cloud.shadows.get("dev-1").mark_bound("mallory", 0.0)
+        token = login(harness)
+        accepted, code, _ = harness.send(DevTokenRequest(token, "dev-1"))
+        assert not accepted and code == "not-owner"
+
+    def test_bind_token_only_on_capability_designs(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(BindTokenRequest(token))
+        assert not accepted and code == "unsupported"
+
+
+class TestStatusAuthentication:
+    def test_dev_id_design_accepts_bare_id(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        harness.must(StatusMessage(device_id="dev-1"))
+        assert harness.cloud.shadow_state("dev-1") == "online"
+
+    def test_unregistered_id_rejected(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        accepted, code, _ = harness.send(StatusMessage(device_id="ghost"))
+        assert not accepted and code == "unknown-device-id"
+
+    def test_dev_token_design_rejects_bare_id(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        accepted, code, _ = harness.send(StatusMessage(device_id="dev-1"))
+        assert not accepted and code == "bad-dev-token"
+
+    def test_dev_token_design_accepts_live_token(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        token = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        harness.must(StatusMessage(device_id="dev-1", dev_token=token))
+        assert harness.cloud.shadow_state("dev-1") == "online"
+
+    def test_pubkey_design_verifies_signature(self):
+        harness = make_harness(device_auth=DeviceAuthMode.PUBKEY)
+        pair = generate_keypair(DeterministicRandom(5), "dev-2")
+        harness.cloud.manufacture_device("dev-2", "plug", pair.public)
+        payload = {"device_id": "dev-2", "model": "plug"}
+        good = StatusMessage(device_id="dev-2", model="plug",
+                             signature=pair.private.sign(payload))
+        harness.must(good)
+        bad = StatusMessage(device_id="dev-2", model="plug", signature="forged")
+        accepted, code, _ = harness.send(bad)
+        assert not accepted and code == "bad-signature"
+
+    def test_registration_records_source_ip(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        harness.must(StatusMessage(device_id="dev-1", is_registration=True))
+        mark = harness.cloud.shadows.registration_of("dev-1")
+        assert str(mark.source_ip) == "198.51.100.1"
+
+    def test_single_connection_eviction(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, single_connection_per_device=True
+        )
+        harness.must(StatusMessage(device_id="dev-1"), src="probe-a")
+        harness.must(StatusMessage(device_id="dev-1"), src="probe-b")
+        assert harness.cloud.shadows.get("dev-1").connection_id == "probe-b"
+
+    def test_multi_connection_keeps_first(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        harness.must(StatusMessage(device_id="dev-1"), src="probe-a")
+        harness.must(StatusMessage(device_id="dev-1"), src="probe-b")
+        assert harness.cloud.shadows.get("dev-1").connection_id == "probe-a"
+
+    def test_telemetry_recorded_only_on_data_bearing_channels(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID,
+                               status_yields_user_data=False)
+        harness.must(StatusMessage(device_id="dev-1", telemetry={"w": 3}))
+        assert harness.cloud.relay.telemetry_of("dev-1") is None
+
+    def test_offline_sweep_times_out_silent_devices(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        harness.must(StatusMessage(device_id="dev-1"))
+        assert harness.cloud.shadow_state("dev-1") == "online"
+        harness.env.run_for(60.0)
+        assert harness.cloud.shadow_state("dev-1") == "initial"
+
+
+class TestBindEndpoint:
+    def test_app_bind_creates_binding(self):
+        harness = make_harness()
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        assert harness.cloud.bound_user_of("dev-1") == "alice"
+        assert harness.cloud.shadow_state("dev-1") == "bound"
+
+    def test_bind_requires_valid_user_token(self):
+        harness = make_harness()
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token="junk"))
+        assert not accepted and code == "bad-user-token"
+
+    def test_bind_unknown_device_rejected(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(BindMessage(device_id="ghost", user_token=token))
+        assert not accepted and code == "unknown-device"
+
+    def test_second_bind_rejected_without_replace(self):
+        harness = make_harness()
+        harness.must(BindMessage(device_id="dev-1", user_token=login(harness)))
+        other = login(harness, "mallory", "pw-m")
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=other))
+        assert not accepted and code == "already-bound"
+
+    def test_second_bind_replaces_when_policy_allows(self):
+        harness = make_harness(rebind_replaces_existing=True, unbind_supported=False)
+        harness.must(BindMessage(device_id="dev-1", user_token=login(harness)))
+        other = login(harness, "mallory", "pw-m")
+        harness.must(BindMessage(device_id="dev-1", user_token=other))
+        assert harness.cloud.bound_user_of("dev-1") == "mallory"
+
+    def test_bind_requires_online_device_policy(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, bind_requires_online_device=True
+        )
+        token = login(harness)
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "device-offline"
+        harness.must(StatusMessage(device_id="dev-1"))
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+
+    def test_device_initiated_bind_validates_credentials(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, bind_sender=BindSender.DEVICE
+        )
+        accepted, code, _ = harness.send(
+            BindMessage(device_id="dev-1", user_id="alice", user_pw="wrong")
+        )
+        assert not accepted and code == "bad-credentials"
+        harness.must(BindMessage(device_id="dev-1", user_id="alice", user_pw="pw-a"))
+        assert harness.cloud.bound_user_of("dev-1") == "alice"
+
+    def test_device_initiated_design_rejects_app_format(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, bind_sender=BindSender.DEVICE
+        )
+        token = login(harness)
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "bad-bind-format"
+
+    def test_app_design_rejects_missing_token(self):
+        harness = make_harness()
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1"))
+        assert not accepted and code == "bad-bind-format"
+
+    def test_ip_match_requires_fresh_registration_from_same_ip(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, ip_match_required=True
+        )
+        token = login(harness)
+        # no registration at all
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "no-fresh-registration"
+        # registration from probe-b, bind from probe-a: IP mismatch
+        harness.must(StatusMessage(device_id="dev-1", is_registration=True), src="probe-b")
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "ip-mismatch"
+        # registration and bind from the same address: accepted
+        harness.must(StatusMessage(device_id="dev-1", is_registration=True), src="probe-a")
+        harness.must(BindMessage(device_id="dev-1", user_token=token), src="probe-a")
+
+    def test_ip_match_window_expires(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, ip_match_required=True,
+            bind_window_seconds=30.0,
+        )
+        token = login(harness)
+        harness.must(StatusMessage(device_id="dev-1", is_registration=True))
+        harness.env.run_for(31.0)
+        accepted, code, _ = harness.send(BindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "no-fresh-registration"
+
+    def test_post_binding_token_returned(self):
+        harness = make_harness(post_binding_token=True)
+        response = harness.must(BindMessage(device_id="dev-1", user_token=login(harness)))
+        assert response.payload.get("post_binding_token")
+
+    def test_dev_token_rotation_on_foreign_binding(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        old = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        other = login(harness, "mallory", "pw-m")
+        response = harness.must(BindMessage(device_id="dev-1", user_token=other))
+        assert response.payload.get("dev_token")
+        assert not harness.cloud.registry.check_dev_token("dev-1", old)
+
+
+class TestCapabilityBind:
+    def make(self):
+        return make_harness(
+            bind_schema=BindSchema.CAPABILITY,
+            bind_sender=BindSender.DEVICE,
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+        )
+
+    def test_full_capability_flow(self):
+        harness = self.make()
+        user_token = login(harness)
+        bind_token = harness.must(BindTokenRequest(user_token)).token
+        dev_token = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        # the device authenticates, then submits the token over its connection
+        harness.must(StatusMessage(device_id="dev-1", dev_token=dev_token), src="probe-b")
+        harness.must(
+            BindMessage(device_id="dev-1", bind_token=bind_token), src="probe-b"
+        )
+        assert harness.cloud.bound_user_of("dev-1") == "alice"
+
+    def test_bind_token_is_single_use(self):
+        harness = self.make()
+        user_token = login(harness)
+        bind_token = harness.must(BindTokenRequest(user_token)).token
+        dev_token = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        harness.must(StatusMessage(device_id="dev-1", dev_token=dev_token), src="probe-b")
+        harness.must(BindMessage(device_id="dev-1", bind_token=bind_token), src="probe-b")
+        harness.must(UnbindMessage(device_id="dev-1", user_token=user_token), src="probe-a")
+        accepted, code, _ = harness.send(
+            BindMessage(device_id="dev-1", bind_token=bind_token), src="probe-b"
+        )
+        assert not accepted and code == "bad-bind-token"
+
+    def test_bind_rejected_off_the_device_connection(self):
+        harness = self.make()
+        user_token = login(harness)
+        bind_token = harness.must(BindTokenRequest(user_token)).token
+        dev_token = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        harness.must(StatusMessage(device_id="dev-1", dev_token=dev_token), src="probe-b")
+        accepted, code, _ = harness.send(
+            BindMessage(device_id="dev-1", bind_token=bind_token), src="probe-a"
+        )
+        assert not accepted and code == "device-not-authenticated"
+
+
+class TestUnbindEndpoint:
+    def bind_alice(self, harness):
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        return token
+
+    def test_type1_by_bound_user(self):
+        harness = make_harness()
+        token = self.bind_alice(harness)
+        harness.must(UnbindMessage(device_id="dev-1", user_token=token))
+        assert harness.cloud.bound_user_of("dev-1") is None
+
+    def test_type1_checked_rejects_other_user(self):
+        harness = make_harness(unbind_checks_bound_user=True)
+        self.bind_alice(harness)
+        other = login(harness, "mallory", "pw-m")
+        accepted, code, _ = harness.send(UnbindMessage(device_id="dev-1", user_token=other))
+        assert not accepted and code == "not-bound-user"
+
+    def test_type1_unchecked_accepts_any_valid_user(self):
+        harness = make_harness(unbind_checks_bound_user=False)
+        self.bind_alice(harness)
+        other = login(harness, "mallory", "pw-m")
+        harness.must(UnbindMessage(device_id="dev-1", user_token=other))
+        assert harness.cloud.bound_user_of("dev-1") is None
+
+    def test_type2_requires_policy(self):
+        harness = make_harness()
+        self.bind_alice(harness)
+        accepted, code, _ = harness.send(UnbindMessage(device_id="dev-1"))
+        assert not accepted and code == "missing-user-token"
+
+    def test_type2_works_when_enabled(self):
+        harness = make_harness(unbind_accepts_bare_dev_id=True)
+        self.bind_alice(harness)
+        harness.must(UnbindMessage(device_id="dev-1"))
+        assert harness.cloud.bound_user_of("dev-1") is None
+
+    def test_unsupported_unbind(self):
+        harness = make_harness(unbind_supported=False, rebind_replaces_existing=True)
+        token = self.bind_alice(harness)
+        accepted, code, _ = harness.send(UnbindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "unbind-unsupported"
+
+    def test_unbind_without_binding(self):
+        harness = make_harness()
+        token = login(harness)
+        accepted, code, _ = harness.send(UnbindMessage(device_id="dev-1", user_token=token))
+        assert not accepted and code == "not-bound"
+
+
+class TestDataPlane:
+    def full_setup(self, harness, design_needs_token=False):
+        token = login(harness)
+        harness.must(StatusMessage(device_id="dev-1"))
+        response = harness.must(BindMessage(device_id="dev-1", user_token=token))
+        return token, response.payload.get("post_binding_token")
+
+    def test_control_requires_bound_user(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token, _ = self.full_setup(harness)
+        harness.must(ControlMessage(token, "dev-1", "on"))
+        other = login(harness, "mallory", "pw-m")
+        accepted, code, _ = harness.send(ControlMessage(other, "dev-1", "on"))
+        assert not accepted and code == "not-bound-user"
+
+    def test_control_requires_online_device(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token, _ = self.full_setup(harness)
+        harness.env.run_for(60.0)  # device times out
+        accepted, code, _ = harness.send(ControlMessage(token, "dev-1", "on"))
+        assert not accepted and code == "device-offline"
+
+    def test_control_gated_by_post_binding_token(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID, post_binding_token=True)
+        token, post = self.full_setup(harness)
+        # wrong/missing token
+        accepted, code, _ = harness.send(ControlMessage(token, "dev-1", "on"))
+        assert not accepted and code == "bad-post-token"
+        # right token but device never confirmed
+        accepted, code, _ = harness.send(
+            ControlMessage(token, "dev-1", "on", post_binding_token=post)
+        )
+        assert not accepted and code == "device-not-confirmed"
+        # device confirms via fetch, control now flows
+        harness.must(DeviceFetch(device_id="dev-1", post_binding_token=post))
+        harness.must(ControlMessage(token, "dev-1", "on", post_binding_token=post))
+
+    def test_commands_queue_and_drain(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token, _ = self.full_setup(harness)
+        harness.must(ControlMessage(token, "dev-1", "on"))
+        response = harness.must(DeviceFetch(device_id="dev-1"))
+        commands = response.payload["commands"]
+        assert [c["command"] for c in commands] == ["on"]
+        assert commands[0]["issued_by"] == "alice"
+
+    def test_schedule_set_and_fetched(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token, _ = self.full_setup(harness)
+        harness.must(ScheduleUpdate(token, "dev-1", {"on": "19:00"}))
+        response = harness.must(DeviceFetch(device_id="dev-1"))
+        assert response.payload["schedule"] == {"on": "19:00"}
+
+    def test_schedule_hidden_on_non_data_channels(self):
+        harness = make_harness(
+            device_auth=DeviceAuthMode.DEV_ID, status_yields_user_data=False
+        )
+        token, _ = self.full_setup(harness)
+        harness.must(ScheduleUpdate(token, "dev-1", {"on": "19:00"}))
+        response = harness.must(DeviceFetch(device_id="dev-1"))
+        assert "schedule" not in response.payload
+
+    def test_query_returns_state_and_telemetry(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token, _ = self.full_setup(harness)
+        harness.must(StatusMessage(device_id="dev-1", telemetry={"power_w": 12.5}))
+        response = harness.must(QueryRequest(token, "dev-1"))
+        assert response.payload["state"] == "control"
+        assert response.payload["telemetry"] == {"power_w": 12.5}
+
+    def test_query_requires_binding(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_ID)
+        token = login(harness)
+        accepted, code, _ = harness.send(QueryRequest(token, "dev-1"))
+        assert not accepted and code == "not-bound"
+
+    def test_fetch_requires_device_auth(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        accepted, code, _ = harness.send(DeviceFetch(device_id="dev-1"))
+        assert not accepted and code == "bad-dev-token"

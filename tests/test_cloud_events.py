@@ -1,0 +1,36 @@
+"""Unit tests for the event feed store itself."""
+
+from repro.cloud.events import EventFeed, UserEvent
+
+
+class TestEventFeed:
+    def test_emit_and_poll(self):
+        feed = EventFeed()
+        feed.emit("alice", UserEvent(1.0, "binding-created", "dev-1"))
+        events = feed.poll("alice")
+        assert len(events) == 1
+        assert events[0].kind == "binding-created"
+
+    def test_poll_advances_cursor(self):
+        feed = EventFeed()
+        feed.emit("alice", UserEvent(1.0, "a", "d"))
+        feed.poll("alice")
+        feed.emit("alice", UserEvent(2.0, "b", "d"))
+        events = feed.poll("alice")
+        assert [e.kind for e in events] == ["b"]
+
+    def test_inboxes_are_per_user(self):
+        feed = EventFeed()
+        feed.emit("alice", UserEvent(1.0, "a", "d"))
+        assert feed.poll("mallory") == []
+        assert feed.count("alice") == 1
+        assert feed.count("mallory") == 0
+
+    def test_all_events_ignores_cursor(self):
+        feed = EventFeed()
+        feed.emit("alice", UserEvent(1.0, "a", "d"))
+        feed.poll("alice")
+        assert len(feed.all_events("alice")) == 1
+
+    def test_poll_empty_inbox(self):
+        assert EventFeed().poll("nobody") == []

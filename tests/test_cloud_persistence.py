@@ -1,0 +1,134 @@
+"""Tests for cloud snapshot/restore: a restart must not lose bindings."""
+
+import json
+
+import pytest
+
+from repro.cloud.persistence import restore, snapshot, snapshot_json
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.cloud.service import CloudService
+from repro.core.errors import ConfigurationError
+from repro.scenario import Deployment
+from repro.vendors import vendor
+
+
+def build_world(design_name="D-LINK", seed=81):
+    world = Deployment(vendor(design_name), seed=seed)
+    assert world.victim_full_setup()
+    world.victim.app.set_schedule(world.victim.device.device_id, {"on": "19:00"})
+    return world
+
+
+def restart_cloud(world) -> CloudService:
+    """Simulate a cloud restart: snapshot, replace the node, restore."""
+    data = snapshot(world.cloud)
+    world.network.set_handler("cloud", None)
+    # a fresh service instance on a new node name, then swap the handler in
+    fresh = CloudService.__new__(CloudService)
+    fresh.env = world.env
+    fresh.network = world.network
+    fresh.design = world.design
+    fresh.node_name = "cloud"
+    from repro.cloud.accounts import AccountStore
+    from repro.cloud.audit import AuditLog
+    from repro.cloud.bindings import BindingStore
+    from repro.cloud.handlers import EndpointHandlers
+    from repro.cloud.registry import DeviceRegistry
+    from repro.cloud.relay import Relay
+    from repro.cloud.shadows import ShadowStore
+    from repro.cloud.sharing import ShareStore
+    from repro.identity.tokens import TokenService
+
+    fresh.tokens = TokenService(world.env.rng.fork("restarted-cloud"))
+    fresh.accounts = AccountStore(fresh.tokens)
+    fresh.registry = DeviceRegistry(fresh.tokens)
+    fresh.bindings = BindingStore()
+    fresh.shares = ShareStore()
+    fresh.shadows = ShadowStore()
+    fresh.relay = Relay()
+    fresh.audit = AuditLog()
+    fresh.bind_probe_failures = {}
+    fresh._handlers = EndpointHandlers(fresh)
+    fresh._sweep_handle = None
+    restore(fresh, data)
+    world.network.set_handler("cloud", fresh.handle_packet)
+    fresh.start_liveness_sweep()
+    world.cloud = fresh
+    return fresh
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        world = build_world()
+        text = snapshot_json(world.cloud)
+        data = json.loads(text)
+        assert data["design"] == "D-LINK"
+        assert len(data["bindings"]) == 1
+        assert len(data["accounts"]) == 2
+
+    def test_snapshot_captures_schedule_and_post_token(self):
+        world = build_world()
+        data = snapshot(world.cloud)
+        binding = data["bindings"][0]
+        assert binding["post_token"] is not None
+        assert binding["device_confirmed"] is True
+        assert list(data["schedules"].values()) == [{"on": "19:00"}]
+
+
+class TestRestore:
+    def test_restart_preserves_binding_and_recovers_control(self):
+        world = build_world()
+        device_id = world.victim.device.device_id
+        restart_cloud(world)
+        # immediately after restart: shadow offline but bound
+        assert world.shadow_state() == "bound"
+        assert world.bound_user() == world.victim.user_id
+        # the device's next heartbeat restores full operation
+        world.run_heartbeats(2)
+        assert world.shadow_state() == "control"
+        assert world.victim_can_control()
+
+    def test_restart_preserves_user_sessions(self):
+        world = build_world()
+        restart_cloud(world)
+        response = world.victim.app.query(world.victim.device.device_id)
+        assert response.payload["schedule"] == {"on": "19:00"}
+
+    def test_restart_preserves_dev_tokens(self):
+        world = Deployment(vendor("Belkin"), seed=81)
+        assert world.victim_full_setup()
+        restart_cloud(world)
+        world.run_heartbeats(2)
+        assert world.shadow_state() == "control"  # old DevToken still valid
+
+    def test_restart_preserves_pubkey_registry(self):
+        from repro.secure import SECURE_PUBKEY
+
+        world = Deployment(SECURE_PUBKEY, seed=81)
+        assert world.victim_full_setup()
+        restart_cloud(world)
+        world.run_heartbeats(2)
+        assert world.shadow_state() == "control"
+
+    def test_restore_rejects_wrong_design(self):
+        world = build_world()
+        data = snapshot(world.cloud)
+        other = Deployment(vendor("Belkin"), seed=82)
+        with pytest.raises(ConfigurationError):
+            restore(other.cloud, data)
+
+    def test_restore_rejects_dirty_cloud(self):
+        world = build_world()
+        data = snapshot(world.cloud)
+        with pytest.raises(ConfigurationError):
+            restore(world.cloud, data)  # same, already-populated instance
+
+    def test_restore_rejects_unknown_version(self):
+        world = build_world()
+        data = snapshot(world.cloud)
+        data["version"] = 99
+        other = Deployment(vendor("D-LINK"), seed=83)
+        fresh_like = other.cloud
+        # wipe to look fresh
+        with pytest.raises(ConfigurationError):
+            restore(fresh_like, data)

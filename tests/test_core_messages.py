@@ -1,0 +1,84 @@
+"""Tests for wire messages and the paper-style describe() rendering."""
+
+from repro.core.messages import (
+    BindMessage,
+    ControlMessage,
+    DeviceFetch,
+    LoginRequest,
+    Origin,
+    QueryRequest,
+    Response,
+    ScheduleUpdate,
+    StatusMessage,
+    UnbindMessage,
+    describe,
+)
+from repro.core.notation import MessageKind
+
+
+class TestKinds:
+    def test_status_is_a_binding_primitive(self):
+        assert StatusMessage(device_id="d").kind is MessageKind.STATUS
+
+    def test_bind_is_a_binding_primitive(self):
+        assert BindMessage(device_id="d").kind is MessageKind.BIND
+
+    def test_unbind_is_a_binding_primitive(self):
+        assert UnbindMessage(device_id="d").kind is MessageKind.UNBIND
+
+    def test_control_is_not_a_binding_primitive(self):
+        assert ControlMessage("t", "d", "on").kind is None
+
+    def test_login_is_not_a_binding_primitive(self):
+        assert LoginRequest("u", "p").kind is None
+
+
+class TestDescribe:
+    def test_status_with_dev_id(self):
+        assert describe(StatusMessage(device_id="d")) == "Status:DevId"
+
+    def test_status_with_dev_token(self):
+        assert describe(StatusMessage(device_id="d", dev_token="t")) == "Status:DevToken"
+
+    def test_status_signed(self):
+        assert describe(StatusMessage(device_id="d", signature="s")) == "Status:Signed"
+
+    def test_bind_acl_app(self):
+        assert describe(BindMessage(device_id="d", user_token="t")) == "Bind:(DevId,UserToken)"
+
+    def test_bind_acl_device(self):
+        message = BindMessage(device_id="d", user_id="u", user_pw="p", origin=Origin.DEVICE)
+        assert describe(message) == "Bind:(DevId,UserId,UserPw)"
+
+    def test_bind_capability(self):
+        assert describe(BindMessage(bind_token="b")) == "Bind:BindToken"
+
+    def test_unbind_type1(self):
+        assert describe(UnbindMessage(device_id="d", user_token="t")) == "Unbind:(DevId,UserToken)"
+
+    def test_unbind_type2(self):
+        assert describe(UnbindMessage(device_id="d")) == "Unbind:DevId"
+
+    def test_other_messages(self):
+        assert describe(LoginRequest("u", "p")) == "Login:(UserId,UserPw)"
+        assert describe(ControlMessage("t", "d", "on")) == "Control:on"
+        assert describe(ScheduleUpdate("t", "d", {})) == "ScheduleUpdate"
+        assert describe(DeviceFetch(device_id="d")) == "DeviceFetch"
+        assert describe(QueryRequest("t", "d")) == "Query:telemetry"
+        assert describe(Response()) == "Response"
+
+
+class TestImmutability:
+    def test_messages_are_frozen(self):
+        message = StatusMessage(device_id="d")
+        try:
+            message.device_id = "other"
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
+
+    def test_response_defaults(self):
+        response = Response()
+        assert response.ok
+        assert response.payload == {}

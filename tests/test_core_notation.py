@@ -1,0 +1,31 @@
+"""Tests for the Table I notation registry."""
+
+from repro.core.notation import TABLE_I, CredentialKind, MessageKind, render_table_i
+
+
+def test_table_i_has_nine_rows():
+    assert len(TABLE_I) == 9
+
+
+def test_table_i_covers_all_message_kinds():
+    symbols = {entry.symbol for entry in TABLE_I}
+    for kind in MessageKind:
+        assert kind.value in symbols
+
+
+def test_table_i_covers_all_credential_kinds():
+    symbols = {entry.symbol for entry in TABLE_I}
+    for kind in CredentialKind:
+        assert kind.value in symbols
+
+
+def test_render_contains_every_symbol_and_description():
+    text = render_table_i()
+    for entry in TABLE_I:
+        assert entry.symbol in text
+        assert entry.description in text
+
+
+def test_status_described_as_device_sent():
+    status = next(e for e in TABLE_I if e.symbol == "Status")
+    assert "sent by the" in status.description

@@ -1,0 +1,57 @@
+"""Unit tests for shadow states and flag mapping."""
+
+import pytest
+
+from repro.core.states import ShadowEvent, ShadowState, from_flags
+
+
+class TestShadowStateFlags:
+    def test_initial_is_offline_unbound(self):
+        assert not ShadowState.INITIAL.is_online
+        assert not ShadowState.INITIAL.is_bound
+
+    def test_online_is_online_unbound(self):
+        assert ShadowState.ONLINE.is_online
+        assert not ShadowState.ONLINE.is_bound
+
+    def test_bound_is_offline_bound(self):
+        assert not ShadowState.BOUND.is_online
+        assert ShadowState.BOUND.is_bound
+
+    def test_control_is_online_bound(self):
+        assert ShadowState.CONTROL.is_online
+        assert ShadowState.CONTROL.is_bound
+
+    def test_exactly_four_states(self):
+        assert len(ShadowState) == 4
+
+    def test_control_is_only_online_and_bound_state(self):
+        both = [s for s in ShadowState if s.is_online and s.is_bound]
+        assert both == [ShadowState.CONTROL]
+
+
+class TestFromFlags:
+    @pytest.mark.parametrize(
+        "online, bound, expected",
+        [
+            (False, False, ShadowState.INITIAL),
+            (True, False, ShadowState.ONLINE),
+            (False, True, ShadowState.BOUND),
+            (True, True, ShadowState.CONTROL),
+        ],
+    )
+    def test_mapping(self, online, bound, expected):
+        assert from_flags(online, bound) is expected
+
+    def test_roundtrip_every_state(self):
+        for state in ShadowState:
+            assert from_flags(state.is_online, state.is_bound) is state
+
+
+class TestShadowEvent:
+    def test_four_event_kinds(self):
+        assert len(ShadowEvent) == 4
+
+    def test_string_rendering(self):
+        assert str(ShadowEvent.STATUS_RECEIVED) == "status-received"
+        assert str(ShadowState.CONTROL) == "control"

@@ -1,0 +1,170 @@
+"""Tests for the device firmware base: provisioning, heartbeats, reset,
+local protocol."""
+
+import pytest
+
+from repro.cloud.policy import BindSender, DeviceAuthMode, VendorDesign
+from repro.device.local import (
+    DeliverBindToken,
+    DeliverDevToken,
+    DeliverUserCredential,
+)
+from repro.net.discovery import SsdpSearch
+from repro.scenario import Deployment
+
+
+def make_world(**overrides):
+    defaults = dict(
+        name="T", device_type="smart-plug",
+        device_auth=DeviceAuthMode.DEV_ID, id_scheme="serial-number",
+    )
+    defaults.update(overrides)
+    return Deployment(VendorDesign(**defaults), seed=2)
+
+
+class TestProvisioning:
+    def test_factory_fresh_device_is_offline(self):
+        world = make_world()
+        device = world.victim.device
+        device.power_on()
+        assert device.wifi is None
+        assert not device.connected
+        assert world.shadow_state() == "initial"
+
+    def test_smartconfig_brings_device_online(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        heard = party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        assert heard == 1
+        assert party.device.connected
+        assert world.shadow_state() == "online"
+
+    def test_provisioning_with_wrong_ssid_fails_gracefully(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi("no-such-ssid", "pw")
+        assert not party.device.connected
+        assert party.device.last_error == "ssid-not-found"
+
+    def test_provisioning_with_wrong_passphrase_fails(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, "wrong")
+        assert not party.device.connected
+        assert party.device.last_error == "wifi-join-failed"
+
+    def test_attacker_cannot_provision_victims_device(self):
+        world = make_world()
+        world.victim.device.power_on()
+        heard = world.attacker_party.app.provision_wifi("victim-wifi", "whatever")
+        assert heard == 0  # different physical location: radio never reaches
+
+
+class TestHeartbeats:
+    def test_heartbeats_keep_device_online(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        world.run(60.0)
+        assert world.shadow_state() == "online"
+
+    def test_power_off_leads_to_timeout(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        party.device.power_off()
+        world.run(60.0)
+        assert world.shadow_state() == "initial"
+
+    def test_power_cycle_reconnects(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        party.device.power_off()
+        world.run(60.0)
+        party.device.power_on()  # Wi-Fi credentials persisted
+        assert world.shadow_state() == "online"
+
+
+class TestLocalProtocol:
+    def test_answers_ssdp(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        found = party.app.discover()
+        assert [d.device_id for d in found] == [party.device.device_id]
+
+    def test_dev_token_install_reconnects(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_TOKEN)
+        party = world.victim
+        party.app.login()
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        assert not party.device.connected  # no token yet
+        party.app.local_configure(party.device)
+        assert party.device.connected
+        assert world.shadow_state() == "online"
+
+    def test_user_credential_rejected_on_app_initiated_designs(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        response = world.network.request(
+            party.app.node_name, party.device.node_name,
+            DeliverUserCredential(user_id="u", user_pw="p"),
+        )
+        assert not response.accepted
+
+    def test_bind_token_rejected_on_acl_designs(self):
+        world = make_world()
+        party = world.victim
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        response = world.network.request(
+            party.app.node_name, party.device.node_name,
+            DeliverBindToken(bind_token="x"),
+        )
+        assert not response.accepted
+
+
+class TestReset:
+    def test_reset_wipes_state_and_disconnects(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        device = world.victim.device
+        device.state["on"] = True
+        device.factory_reset()
+        assert device.wifi is None
+        assert device.dev_token is None
+        assert not device.connected
+        assert device.state["on"] is False
+        world.run(60.0)
+        assert world.shadow_state() in ("bound",)  # binding survives (no Type-2)
+
+    def test_reset_sends_type2_unbind_when_supported(self):
+        world = make_world(unbind_accepts_bare_dev_id=True)
+        assert world.victim_full_setup()
+        world.victim.device.factory_reset()
+        assert world.bound_user() is None
+        world.run(60.0)
+        assert world.shadow_state() == "initial"
+
+
+class TestCommandExecution:
+    def test_device_executes_relayed_commands(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.victim.app.control(world.victim.device.device_id, "on")
+        world.run_heartbeats(1)
+        assert world.victim.device.state["on"] is True
+        executed = world.victim.device.executed_commands
+        assert executed[-1].command == "on"
+        assert executed[-1].issued_by == "alice@example.com"

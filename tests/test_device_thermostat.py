@@ -1,0 +1,88 @@
+"""Tests for the thermostat and the self-cascade automation scenario."""
+
+import pytest
+
+from repro.app.automation import AutomationEngine, Rule
+from repro.attacks.attacker import RemoteAttacker
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.scenario import Deployment
+
+
+def make_world():
+    design = VendorDesign(
+        name="T", device_type="thermostat",
+        device_auth=DeviceAuthMode.DEV_ID,
+        device_auth_known=DeviceAuthMode.DEV_ID,
+        firmware_available=True,
+        id_scheme="serial-number",
+    )
+    world = Deployment(design, seed=85)
+    assert world.victim_full_setup()
+    return world
+
+
+class TestThermostat:
+    def test_setpoint_clamped(self):
+        world = make_world()
+        thermostat = world.victim.device
+        thermostat.apply_command("setpoint", {"celsius": 99.0})
+        assert thermostat.state["setpoint_c"] == 35.0
+        thermostat.apply_command("setpoint", {"celsius": -10.0})
+        assert thermostat.state["setpoint_c"] == 5.0
+
+    def test_mode_validation(self):
+        world = make_world()
+        thermostat = world.victim.device
+        thermostat.apply_command("mode", {"mode": "cool"})
+        assert thermostat.state["mode"] == "cool"
+        thermostat.apply_command("mode", {"mode": "party"})
+        assert thermostat.state["mode"] == "cool"  # unchanged
+
+    def test_heating_and_cooling_flags(self):
+        world = make_world()
+        thermostat = world.victim.device
+        thermostat.apply_command("setpoint", {"celsius": 35.0})
+        reading = thermostat.read_telemetry()
+        assert reading["heating"] is True and reading["cooling"] is False
+        thermostat.apply_command("setpoint", {"celsius": 5.0})
+        reading = thermostat.read_telemetry()
+        assert reading["cooling"] is True and reading["heating"] is False
+
+    def test_off_mode_never_actuates(self):
+        world = make_world()
+        thermostat = world.victim.device
+        thermostat.apply_command("mode", {"mode": "off"})
+        thermostat.apply_command("setpoint", {"celsius": 35.0})
+        reading = thermostat.read_telemetry()
+        assert not reading["heating"] and not reading["cooling"]
+
+
+class TestSelfCascade:
+    def test_forged_reading_makes_the_thermostat_fight_itself(self):
+        """A rule ties the thermostat's own reading to its own setpoint;
+        an A1 injection flips the device against its real environment."""
+        world = make_world()
+        thermostat = world.victim.device
+        engine = AutomationEngine(world.env, world.victim.app)
+        engine.add_rule(Rule(
+            name="panic-cool",
+            trigger_device=thermostat.device_id, metric="temperature_c",
+            op=">", threshold=30.0,
+            action_device=thermostat.device_id,
+            command="setpoint", arguments={"celsius": 10.0},
+        ))
+        world.run_heartbeats(1)
+        assert engine.evaluate_once() == []  # ambient ~22C: calm
+
+        mallory = RemoteAttacker(world)
+        mallory.login()
+        mallory.learn_victim_device_id(thermostat.device_id)
+        accepted, _, _ = mallory.send(
+            mallory.forge_status({"temperature_c": 40.0})
+        )
+        assert accepted
+        firings = engine.evaluate_once()
+        assert [f.rule for f in firings] == ["panic-cool"]
+        world.run_heartbeats(1)
+        assert thermostat.state["setpoint_c"] == 10.0
+        assert thermostat.read_telemetry()["cooling"] is True  # real room is 22C

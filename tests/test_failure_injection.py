@@ -1,0 +1,153 @@
+"""Failure injection: the binding life cycle under partial failures.
+
+The paper's model treats online/offline as first-class (the timeout
+transitions of Figure 2); these tests disrupt the world mid-flow —
+power loss, Wi-Fi loss, expired windows, token loss, races — and check
+the system degrades exactly as the model says.
+"""
+
+import pytest
+
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.errors import RequestRejected
+from repro.scenario import Deployment
+from repro.vendors import vendor
+
+
+def make_world(**overrides) -> Deployment:
+    defaults = dict(
+        name="T", device_type="smart-plug",
+        device_auth=DeviceAuthMode.DEV_ID, id_scheme="serial-number",
+    )
+    defaults.update(overrides)
+    return Deployment(VendorDesign(**defaults), seed=51)
+
+
+class TestPowerAndNetworkLoss:
+    def test_power_loss_moves_control_to_bound_and_back(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.victim.device.power_off()
+        world.run(60.0)
+        assert world.shadow_state() == "bound"     # Figure 2 timeout arc
+        assert world.bound_user() == world.victim.user_id
+        world.victim.device.power_on()
+        world.run_heartbeats(1)
+        assert world.shadow_state() == "control"   # (6): bound -> control
+
+    def test_control_rejected_while_device_offline(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.victim.device.power_off()
+        world.run(60.0)
+        with pytest.raises(RequestRejected) as excinfo:
+            world.victim.app.control(world.victim.device.device_id, "on")
+        assert excinfo.value.code == "device-offline"
+
+    def test_wifi_loss_mid_operation(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.network.leave_lan(world.victim.device.node_name)
+        world.run(60.0)
+        assert world.shadow_state() == "bound"
+
+    def test_queued_command_survives_outage_and_executes_on_return(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        device = world.victim.device
+        world.victim.app.control(device.device_id, "on")
+        device.power_off()  # command still queued in the cloud
+        device.power_on()
+        world.run_heartbeats(1)
+        assert device.state["on"] is True
+
+    def test_binding_survives_cloudless_period_for_days(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.victim.device.power_off()
+        world.run(3 * 24 * 3600.0)  # three days offline
+        assert world.bound_user() == world.victim.user_id
+
+
+class TestWindowExpiry:
+    def test_philips_bind_fails_after_button_window(self):
+        world = Deployment(vendor("Philips Hue"), seed=51)
+        party = world.victim
+        party.app.login()
+        party.device.power_on()
+        party.app.provision_wifi(party.ssid, party.wifi_passphrase)
+        party.app.local_configure(party.device)
+        party.device.press_button()
+        world.run(31.0)  # let the 30-second window lapse
+        assert not party.app.bind_device(party.device)
+        # pressing again re-opens it
+        party.device.press_button()
+        assert party.app.bind_device(party.device)
+
+
+class TestCredentialLoss:
+    def test_device_losing_dev_token_drops_offline(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_TOKEN)
+        assert world.victim_full_setup()
+        world.victim.device.dev_token = None  # simulated flash corruption
+        world.run(60.0)
+        assert world.shadow_state() == "bound"
+
+    def test_reconfiguration_recovers_lost_token(self):
+        world = make_world(device_auth=DeviceAuthMode.DEV_TOKEN)
+        assert world.victim_full_setup()
+        world.victim.device.dev_token = None
+        world.run(60.0)
+        world.victim.app.local_configure(world.victim.device)
+        world.run_heartbeats(1)
+        assert world.shadow_state() == "control"
+
+    def test_logged_out_app_cannot_operate(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.cloud.accounts.logout(world.victim.app.user_token)
+        with pytest.raises(RequestRejected) as excinfo:
+            world.victim.app.control(world.victim.device.device_id, "on")
+        assert excinfo.value.code == "bad-user-token"
+
+
+class TestRaces:
+    def test_two_users_race_to_bind_first_wins(self):
+        world = make_world()
+        world.victim_partial_setup_online_unbound()
+        device_id = world.victim.device.device_id
+        world.attacker_party.app.login()
+        from repro.core.messages import BindMessage
+
+        # the "attacker" here is just the second-fastest user
+        response = world.network.request(
+            world.attacker_party.app.node_name, "cloud",
+            BindMessage(device_id=device_id,
+                        user_token=world.attacker_party.app.user_token),
+        )
+        assert response.ok
+        assert not world.victim.app.bind_device(world.victim.device)
+        assert world.bound_user() == world.attacker_party.user_id
+
+    def test_unbind_then_immediate_rebind_is_clean(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        device_id = world.victim.device.device_id
+        assert world.victim.app.remove_device(device_id)
+        assert world.victim.app.bind_device(world.victim.device)
+        assert world.bound_user() == world.victim.user_id
+        world.run_heartbeats(1)
+        assert world.shadow_state() == "control"
+
+    def test_repeated_setup_is_idempotent(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        # a second full setup of the same, already-bound device
+        party = world.victim
+        try:
+            party.app.local_configure(party.device)
+        except RequestRejected:
+            pass
+        assert not party.app.bind_device(party.device)  # already-bound
+        assert world.bound_user() == party.user_id       # but nothing broke
+        assert world.victim_can_control()

@@ -1,0 +1,48 @@
+"""Tests for the compiled full report."""
+
+import pytest
+
+from repro.analysis.full_report import render_full_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def report():
+    return render_full_report(seed=3)
+
+
+class TestFullReport:
+    def test_covers_every_paper_artifact(self, report):
+        for marker in (
+            "Table I — notation",
+            "Figure 1 — binding life cycle",
+            "Figure 2 — device-shadow state machine",
+            "Figure 3 — device authentication designs",
+            "Figure 4 — binding creation designs",
+            "Table II — attack taxonomy",
+            "Table III — ten-vendor evaluation",
+        ):
+            assert marker in report, marker
+
+    def test_covers_every_extension(self, report):
+        for marker in (
+            "Device-ID enumerability",
+            "Recommended designs under the battery",
+            "Design-space sweep",
+            "Model-checked witnesses",
+            "Minimal fixes per vendor",
+            "Section VII design lint",
+            "Setup-cost overhead",
+        ):
+            assert marker in report, marker
+
+    def test_reports_exact_reproduction(self, report):
+        assert "RESULT: exact reproduction" in report
+
+    def test_all_model_properties_hold(self, report):
+        assert "VIOLATED" not in report
+
+    def test_cli_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out

@@ -1,0 +1,172 @@
+"""Tests for the four-party architecture: Zigbee children behind a hub.
+
+The paper's Section VIII generalization question, answered by
+construction: the hub *is* the device of the three-party model, so
+every binding attack against it carries over — amplified to the whole
+mesh behind it.
+"""
+
+import pytest
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.hub import ZigbeeAir, ZigbeeContactSensor, ZigbeeSwitch, pair_child
+from repro.scenario import Deployment
+
+
+def hub_design(**overrides) -> VendorDesign:
+    defaults = dict(
+        name="HubVendor", device_type="zigbee-hub",
+        device_auth=DeviceAuthMode.DEV_ID,
+        device_auth_known=DeviceAuthMode.DEV_ID,
+        firmware_available=True,
+        rebind_replaces_existing=True,  # the A4-1 flaw, on a hub
+        id_scheme="serial-number",
+    )
+    defaults.update(overrides)
+    return VendorDesign(**defaults)
+
+
+@pytest.fixture
+def smart_home():
+    """A bound hub with two paired children in the victim's home."""
+    world = Deployment(hub_design(), seed=71)
+    assert world.victim_full_setup()
+    hub = world.victim.device
+    mesh = ZigbeeAir()
+    hub.attach_mesh(mesh)
+    sensor = ZigbeeContactSensor(world.env, mesh, world.victim.location)
+    switch = ZigbeeSwitch(world.env, mesh, world.victim.location)
+    assert pair_child(hub, sensor)
+    assert pair_child(hub, switch)
+    return world, hub, sensor, switch
+
+
+class TestMesh:
+    def test_pairing_requires_pairing_mode(self, smart_home):
+        world, hub, *_ = smart_home
+        stray = ZigbeeContactSensor(world.env, ZigbeeAir(), world.victim.location)
+        # different medium entirely: announce reaches nobody
+        assert stray.announce() == 0
+        assert stray.paired_hub is None
+
+    def test_announce_outside_pairing_mode_ignored(self, smart_home):
+        world, hub, *_ = smart_home
+        late = ZigbeeContactSensor(world.env, hub._mesh_air, world.victim.location)
+        late.announce()  # hub not in pairing mode
+        assert late.short_address not in hub.paired_children()
+
+    def test_remote_attacker_cannot_pair_children(self, smart_home):
+        world, hub, *_ = smart_home
+        # the attacker's radio is at another physical location
+        intruder = ZigbeeContactSensor(
+            world.env, hub._mesh_air, world.attacker_party.location
+        )
+        hub.enter_pairing_mode()
+        intruder.announce()
+        hub.leave_pairing_mode()
+        assert intruder.paired_hub is None
+
+    def test_children_report_through_hub_to_cloud(self, smart_home):
+        world, hub, sensor, switch = smart_home
+        sensor.set_open(True)
+        sensor.report()
+        switch.report()
+        world.run_heartbeats(1)
+        telemetry = world.victim.app.query(hub.device_id).payload["telemetry"]
+        assert telemetry["children"][sensor.short_address]["open"] is True
+        assert telemetry["children"][switch.short_address]["on"] is False
+
+    def test_user_controls_child_through_hub(self, smart_home):
+        world, hub, _sensor, switch = smart_home
+        world.victim.app.control(
+            hub.device_id, "child",
+            {"target": switch.short_address, "command": "on"},
+        )
+        world.run_heartbeats(1)
+        assert switch.state["on"] is True
+
+    def test_command_for_unknown_child_dropped(self, smart_home):
+        world, hub, *_ = smart_home
+        world.victim.app.control(
+            hub.device_id, "child", {"target": "zb-dead", "command": "on"}
+        )
+        world.run_heartbeats(1)  # nothing crashes, nothing happens
+
+    def test_hub_reset_forgets_the_mesh(self, smart_home):
+        world, hub, sensor, _switch = smart_home
+        hub.factory_reset()
+        assert hub.paired_children() == []
+
+
+class TestFourPartyAttackAmplification:
+    def test_hijacking_the_hub_hijacks_every_child(self, smart_home):
+        """A4-1 against the hub -> the attacker flips a Zigbee switch
+        they could never reach directly."""
+        world, hub, _sensor, switch = smart_home
+        mallory = RemoteAttacker(world)
+        mallory.login()
+        mallory.learn_victim_device_id(hub.device_id)
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        mallory.app.user_token  # attacker is now the bound user
+        from repro.core.messages import ControlMessage
+
+        mallory.send(ControlMessage(
+            user_token=mallory.app.user_token,
+            device_id=hub.device_id,
+            command="child",
+            arguments={"target": switch.short_address, "command": "on"},
+        ))
+        world.run_heartbeats(2)
+        assert switch.state["on"] is True  # the whole mesh fell with the hub
+
+    def test_unbinding_the_hub_disconnects_every_child(self, smart_home):
+        world, hub, sensor, _switch = smart_home
+        design = hub_design(unbind_checks_bound_user=False)
+        # rebuild with the unchecked-unbind flaw
+        world2 = Deployment(design, seed=72)
+        assert world2.victim_full_setup()
+        hub2 = world2.victim.device
+        mesh = ZigbeeAir()
+        hub2.attach_mesh(mesh)
+        child = ZigbeeContactSensor(world2.env, mesh, world2.victim.location)
+        assert pair_child(hub2, child)
+        mallory = RemoteAttacker(world2)
+        mallory.login()
+        mallory.learn_victim_device_id(hub2.device_id)
+        accepted, _, _ = mallory.send(mallory.forge_unbind_type1())
+        assert accepted
+        # one forged message: the user lost the hub AND every sensor on it
+        import pytest as _pytest
+        from repro.core.errors import RequestRejected
+
+        with _pytest.raises(RequestRejected):
+            world2.victim.app.query(hub2.device_id)
+
+    def test_forged_hub_status_forges_all_child_data(self, smart_home):
+        world, hub, sensor, _switch = smart_home
+        mallory = RemoteAttacker(world)
+        mallory.login()
+        mallory.learn_victim_device_id(hub.device_id)
+        accepted, _, _ = mallory.send(mallory.forge_status(
+            {"children": {sensor.short_address: {"open": False, "forged": True}}}
+        ))
+        assert accepted
+        telemetry = world.victim.app.query(hub.device_id).payload["telemetry"]
+        assert telemetry["children"][sensor.short_address]["forged"] is True
+
+    def test_secure_hub_design_protects_the_mesh(self):
+        from repro.attacks.results import Outcome
+        from repro.attacks.runner import run_attack
+
+        design = hub_design(
+            name="SecureHub",
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+            device_auth_known=DeviceAuthMode.DEV_TOKEN,
+            rebind_replaces_existing=False,
+            post_binding_token=True,
+        )
+        for attack_id in ("A1", "A4-1", "A4-2", "A4-3"):
+            report = run_attack(design, attack_id, seed=71)
+            assert report.outcome in (Outcome.FAILED, Outcome.NOT_APPLICABLE), attack_id

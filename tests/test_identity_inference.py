@@ -1,0 +1,82 @@
+"""Tests for ID-scheme inference from observed samples."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.identity.inference import infer_scheme, recommended_probe_order
+from repro.scenario import Deployment
+from repro.vendors import vendor
+
+
+class TestMacInference:
+    def test_shared_oui_recognized(self):
+        guess = infer_scheme(["50:c7:bf:11:22:33", "50:c7:bf:aa:bb:cc"])
+        assert guess.scheme == "mac-address"
+        assert guess.search_space == 2 ** 24
+        assert "50:c7:bf" in guess.detail
+
+    def test_multiple_ouis_widen_the_space(self):
+        guess = infer_scheme(["50:c7:bf:11:22:33", "94:10:3e:aa:bb:cc"])
+        assert guess.search_space == 2 * 2 ** 24
+
+    def test_case_insensitive(self):
+        guess = infer_scheme(["50:C7:BF:11:22:33"])
+        assert guess.scheme == "mac-address"
+
+
+class TestSerialInference:
+    def test_sequential_serials_detected_with_hot_candidates(self):
+        guess = infer_scheme(["0000041", "0000043"])
+        assert guess.scheme == "serial-number"
+        assert guess.search_space == 10 ** 7
+        assert "sequential" in guess.detail
+        assert "0000042" in guess.hot_candidates
+
+    def test_scattered_serials_not_marked_sequential(self):
+        guess = infer_scheme(["0000041", "9513321"])
+        assert guess.scheme == "serial-number"
+        assert guess.hot_candidates == ()
+
+    def test_single_sample_gives_space_only(self):
+        guess = infer_scheme(["123456"])
+        assert guess.search_space == 10 ** 6
+
+    def test_enumerable_judgement(self):
+        assert infer_scheme(["123456"]).enumerable          # 10^6
+        assert infer_scheme(["0" * 10]).enumerable is False  # 10^10
+
+
+class TestOtherSchemes:
+    def test_random_hex(self):
+        guess = infer_scheme(["ab12" * 8, "cd34" * 8])
+        assert guess.scheme == "random-hex"
+        assert guess.search_space == 16 ** 32
+        assert not guess.enumerable
+
+    def test_unknown_format(self):
+        guess = infer_scheme(["device-!!!"])
+        assert guess.scheme == "unknown"
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            infer_scheme([])
+
+
+class TestProbeOrder:
+    def test_hot_candidates_come_first(self):
+        guess = infer_scheme(["0000041", "0000043"])
+        order = recommended_probe_order(guess, limit=20)
+        assert order[0] == "0000038"
+        assert "0000042" in order[:10]
+        assert len(order) == 20
+        assert len(set(order)) == 20
+
+    def test_end_to_end_with_the_attackers_own_device(self):
+        # The attacker reads their own unit's serial, infers the scheme,
+        # and the probe order immediately covers the victim's adjacent ID.
+        world = Deployment(vendor("OZWI"), seed=55)
+        own = world.attacker_party.device.device_id
+        guess = infer_scheme([own])
+        assert guess.scheme == "serial-number"
+        order = recommended_probe_order(guess, limit=10)
+        assert world.victim.device.device_id in order

@@ -1,0 +1,41 @@
+"""Tests for IP/MAC address types and the MAC search-space facts."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.net.address import MAC_SUFFIX_SPACE, IpAddress, MacAddress
+
+
+class TestIpAddress:
+    def test_valid(self):
+        assert str(IpAddress("192.168.1.7")) == "192.168.1.7"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d"])
+    def test_invalid(self, bad):
+        with pytest.raises(ProtocolError):
+            IpAddress(bad)
+
+    def test_equality_and_ordering(self):
+        assert IpAddress("10.0.0.1") == IpAddress("10.0.0.1")
+        assert IpAddress("10.0.0.1") != IpAddress("10.0.0.2")
+
+
+class TestMacAddress:
+    def test_valid_and_parts(self):
+        mac = MacAddress("a4:77:33:01:02:03")
+        assert mac.oui == "a4:77:33"
+        assert mac.suffix == "01:02:03"
+
+    @pytest.mark.parametrize("bad", ["", "a4:77:33", "A4:77:33:01:02:03", "zz:77:33:01:02:03"])
+    def test_invalid(self, bad):
+        with pytest.raises(ProtocolError):
+            MacAddress(bad)
+
+    def test_from_parts_roundtrip(self):
+        mac = MacAddress.from_parts("a4:77:33", "aa:bb:cc")
+        assert str(mac) == "a4:77:33:aa:bb:cc"
+
+    def test_search_space_is_three_bytes(self):
+        # Section I: "the search space of MAC addresses is often within 3 bytes"
+        assert MAC_SUFFIX_SPACE == 256 ** 3 == 16_777_216
+        assert MacAddress.search_space_for_oui() == MAC_SUFFIX_SPACE

@@ -1,0 +1,72 @@
+"""Tests for LANs: WPA2 gating, DHCP, router NAT facts."""
+
+import pytest
+
+from repro.core.errors import NetworkError, ProtocolError
+from repro.net.address import IpAddress
+from repro.net.lan import Lan, Router
+
+
+class TestRouter:
+    def test_leases_are_sequential_and_unique(self):
+        router = Router(IpAddress("203.0.113.1"))
+        first = router.lease("a")
+        second = router.lease("b")
+        assert first.ip != second.ip
+        assert str(first.ip).startswith("192.168.1.")
+
+    def test_gateway_ip(self):
+        router = Router(IpAddress("203.0.113.1"), subnet_prefix="10.0.0")
+        assert str(router.gateway_ip) == "10.0.0.1"
+
+    def test_pool_exhaustion(self):
+        router = Router(IpAddress("203.0.113.1"))
+        for i in range(253):
+            router.lease(f"n{i}")
+        with pytest.raises(NetworkError):
+            router.lease("overflow")
+
+
+class TestLan:
+    def make_lan(self) -> Lan:
+        return Lan("lan1", "home-wifi", "s3cret pass", IpAddress("203.0.113.9"))
+
+    def test_join_with_correct_passphrase(self):
+        lan = self.make_lan()
+        lease = lan.join("phone", "s3cret pass")
+        assert lan.contains("phone")
+        assert lan.lease_of("phone") == lease
+
+    def test_join_with_wrong_passphrase_rejected(self):
+        lan = self.make_lan()
+        with pytest.raises(NetworkError):
+            lan.join("intruder", "wrong")
+        assert not lan.contains("intruder")
+
+    def test_rejoin_is_idempotent(self):
+        lan = self.make_lan()
+        first = lan.join("phone", "s3cret pass")
+        second = lan.join("phone", "s3cret pass")
+        assert first.ip == second.ip
+
+    def test_leave_clears_membership(self):
+        lan = self.make_lan()
+        lan.join("phone", "s3cret pass")
+        lan.leave("phone")
+        assert not lan.contains("phone")
+        assert lan.lease_of("phone") is None
+
+    def test_empty_passphrase_forbidden(self):
+        with pytest.raises(ProtocolError):
+            Lan("lan1", "open", "", IpAddress("203.0.113.9"))
+
+    def test_check_passphrase(self):
+        lan = self.make_lan()
+        assert lan.check_passphrase("s3cret pass")
+        assert not lan.check_passphrase("nope")
+
+    def test_members_snapshot(self):
+        lan = self.make_lan()
+        lan.join("a", "s3cret pass")
+        lan.join("b", "s3cret pass")
+        assert set(lan.members()) == {"a", "b"}

@@ -1,0 +1,71 @@
+"""Failure injection: flaky connectivity and the binding's resilience."""
+
+import pytest
+
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.errors import NetworkError, ProtocolError
+from repro.scenario import Deployment
+
+
+def make_world():
+    design = VendorDesign(
+        name="T", device_type="smart-plug",
+        device_auth=DeviceAuthMode.DEV_ID, id_scheme="serial-number",
+    )
+    return Deployment(design, seed=77)
+
+
+class TestLossKnob:
+    def test_invalid_probability_rejected(self):
+        world = make_world()
+        with pytest.raises(ProtocolError):
+            world.network.set_loss(1.5)
+        with pytest.raises(ProtocolError):
+            world.network.set_loss(-0.1)
+
+    def test_total_loss_blocks_everything(self):
+        world = make_world()
+        world.network.set_loss(1.0)
+        with pytest.raises(NetworkError):
+            world.victim.app.login()
+
+    def test_zero_loss_is_default(self):
+        world = make_world()
+        assert world.victim_full_setup()
+
+
+class TestResilience:
+    def test_heartbeats_ride_through_moderate_loss(self):
+        """Individual heartbeats drop, but the binding and the device's
+        online state self-heal: the next surviving heartbeat restores
+        everything (Figure 2's timeout arcs are reversible)."""
+        world = make_world()
+        assert world.victim_full_setup()
+        world.network.set_loss(0.3)
+        world.run(300.0)  # 60 heartbeat attempts at 30% loss
+        world.network.set_loss(0.0)
+        world.run_heartbeats(2)
+        assert world.shadow_state() == "control"
+        assert world.bound_user() == world.victim.user_id
+        assert world.victim_can_control()
+
+    def test_binding_survives_even_if_device_flaps_offline(self):
+        world = make_world()
+        assert world.victim_full_setup()
+        world.network.set_loss(0.95)  # near-total outage
+        world.run(120.0)
+        # the shadow may have gone offline, but never unbound
+        assert world.bound_user() == world.victim.user_id
+        world.network.set_loss(0.0)
+        world.run_heartbeats(2)
+        assert world.shadow_state() == "control"
+
+    def test_loss_is_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            world = make_world()
+            assert world.victim_full_setup()
+            world.network.set_loss(0.5)
+            world.run(100.0)
+            results.append(world.victim.device.last_error)
+        assert results[0] == results[1]

@@ -1,0 +1,100 @@
+"""Property-based tests of the network boundary (the adversary model).
+
+Hypothesis builds random topologies and verifies the delivery rules
+that the whole security analysis rests on: LAN isolation is absolute,
+NAT is consistent, and internet reachability is symmetric-in-kind.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FirewallBlocked, NetworkError
+from repro.core.messages import Response, StatusMessage
+from repro.net.network import Network
+from repro.sim.environment import Environment
+
+
+def build_topology(lan_count: int, nodes_per_lan: int, internet_nodes: int):
+    env = Environment(seed=lan_count * 100 + nodes_per_lan * 10 + internet_nodes)
+    network = Network(env)
+    echo = lambda packet: Response(payload={"ip": str(packet.observed_src_ip)})
+    members = {}
+    for lan_index in range(lan_count):
+        lan_id = f"lan{lan_index}"
+        network.create_lan(
+            lan_id, f"ssid{lan_index}", f"pass{lan_index}",
+            public_ip=f"203.0.{lan_index}.1", subnet_prefix=f"10.{lan_index}.0",
+        )
+        members[lan_id] = []
+        for node_index in range(nodes_per_lan):
+            name = f"n{lan_index}-{node_index}"
+            network.add_node(name, echo)
+            network.join_lan(name, lan_id, f"pass{lan_index}")
+            members[lan_id].append(name)
+    wan = []
+    for index in range(internet_nodes):
+        name = f"wan{index}"
+        network.add_internet_node(name, echo, f"198.51.100.{index + 1}")
+        wan.append(name)
+    return network, members, wan
+
+
+topologies = st.tuples(
+    st.integers(min_value=1, max_value=4),   # LANs
+    st.integers(min_value=1, max_value=4),   # nodes per LAN
+    st.integers(min_value=1, max_value=3),   # internet nodes
+)
+
+
+class TestBoundaryProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_cross_lan_delivery_is_always_blocked(self, shape):
+        network, members, _ = build_topology(*shape)
+        lans = list(members)
+        if len(lans) < 2:
+            return
+        src = members[lans[0]][0]
+        dst = members[lans[1]][0]
+        with pytest.raises(FirewallBlocked):
+            network.request(src, dst, StatusMessage(device_id="d"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_internet_never_reaches_into_a_lan(self, shape):
+        network, members, wan = build_topology(*shape)
+        for lan_members in members.values():
+            with pytest.raises(FirewallBlocked):
+                network.request(wan[0], lan_members[0], StatusMessage(device_id="d"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_every_lan_node_reaches_the_internet_via_its_router(self, shape):
+        network, members, wan = build_topology(*shape)
+        for lan_index, (lan_id, lan_members) in enumerate(sorted(members.items())):
+            for node in lan_members:
+                response = network.request(node, wan[0], StatusMessage(device_id="d"))
+                assert response.payload["ip"] == f"203.0.{lan_index}.1"  # NAT
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_same_lan_nodes_see_private_addresses(self, shape):
+        network, members, _ = build_topology(*shape)
+        for lan_index, (lan_id, lan_members) in enumerate(sorted(members.items())):
+            if len(lan_members) < 2:
+                continue
+            response = network.request(
+                lan_members[0], lan_members[1], StatusMessage(device_id="d")
+            )
+            assert response.payload["ip"].startswith(f"10.{lan_index}.0.")
+
+    @settings(max_examples=25, deadline=None)
+    @given(topologies)
+    def test_leaving_a_lan_revokes_all_reachability(self, shape):
+        network, members, wan = build_topology(*shape)
+        lan_id, lan_members = sorted(members.items())[0]
+        node = lan_members[0]
+        network.leave_lan(node)
+        with pytest.raises(NetworkError):
+            network.request(node, wan[0], StatusMessage(device_id="d"))

@@ -1,0 +1,203 @@
+"""Property-based security tests: structural theorems of the model.
+
+Hypothesis generates random vendor designs and checks *monotonicity*:
+turning a mitigation ON never makes any attack newly succeed.  These
+are the lemmas behind Section VII's recommendations — stated for the
+whole design space, not just the ten studied points.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.design_space import predict
+from repro.attacks.results import Outcome
+from repro.cloud.policy import BindSender, DeviceAuthMode, VendorDesign
+
+ATTACKS = ("A1", "A2", "A3-1", "A3-2", "A3-3", "A3-4", "A4-1", "A4-2", "A4-3")
+
+
+@st.composite
+def acl_designs(draw):
+    """Random consistent ACL designs with full analyst knowledge."""
+    auth = draw(st.sampled_from(list(DeviceAuthMode)))
+    revocation = draw(st.sampled_from(["checked", "unchecked", "none"]))
+    replaces = draw(st.booleans())
+    if revocation == "none":
+        replaces = True
+    return VendorDesign(
+        name="hyp",
+        device_auth=auth,
+        device_auth_known=auth,
+        firmware_available=True,
+        status_yields_user_data=draw(st.booleans()),
+        bind_sender=draw(st.sampled_from(list(BindSender))),
+        bind_requires_online_device=draw(st.booleans()),
+        ip_match_required=draw(st.booleans()),
+        unbind_supported=revocation != "none",
+        unbind_checks_bound_user=revocation == "checked",
+        unbind_accepts_bare_dev_id=draw(st.booleans()) and revocation != "none",
+        rebind_replaces_existing=replaces,
+        single_connection_per_device=draw(st.booleans()),
+        post_binding_token=draw(st.booleans()),
+        id_scheme="serial-number",
+    )
+
+
+def _with(design: VendorDesign, **overrides) -> VendorDesign:
+    values = {k: v for k, v in design.__dict__.items()}
+    values.update(overrides)
+    return VendorDesign(**values)
+
+
+_BAD = (Outcome.SUCCESS, Outcome.ESCALATED)
+
+
+def _newly_succeeding(before, after):
+    """Attacks that became exploitable only after the change.
+
+    ESCALATED counts as "bad" on both sides: an A3-3 that demotes from
+    hijack (ESCALATED) to mere disconnection (SUCCESS) is an
+    improvement, not a regression.
+    """
+    return [
+        attack_id
+        for attack_id in ATTACKS
+        if after[attack_id] in _BAD and before[attack_id] not in _BAD
+    ]
+
+
+class TestMitigationMonotonicity:
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_post_binding_token_never_hurts(self, design):
+        before = predict(design)
+        after = predict(_with(design, post_binding_token=True))
+        assert not _newly_succeeding(before, after)
+
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_checked_unbind_never_hurts(self, design):
+        if not design.unbind_supported:
+            return
+        before = predict(design)
+        after = predict(_with(design, unbind_checks_bound_user=True))
+        assert not _newly_succeeding(before, after)
+
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_removing_bare_unbind_never_hurts(self, design):
+        before = predict(design)
+        after = predict(_with(design, unbind_accepts_bare_dev_id=False))
+        assert not _newly_succeeding(before, after)
+
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_ip_match_never_hurts(self, design):
+        before = predict(design)
+        after = predict(_with(design, ip_match_required=True))
+        assert not _newly_succeeding(before, after)
+
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_dev_token_auth_never_hurts_app_initiated_designs(self, design):
+        # The unrestricted claim is FALSE: see
+        # TestNonMonotonicity.test_dev_token_auth_can_reopen_a2.
+        if design.bind_sender is BindSender.DEVICE and design.rebind_replaces_existing:
+            return
+        before = predict(design)
+        after = predict(_with(
+            design,
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+            device_auth_known=DeviceAuthMode.DEV_TOKEN,
+        ))
+        assert not _newly_succeeding(before, after)
+
+    @settings(max_examples=150, deadline=None)
+    @given(acl_designs())
+    def test_multi_connection_never_hurts(self, design):
+        before = predict(design)
+        after = predict(_with(design, single_connection_per_device=False))
+        assert not _newly_succeeding(before, after)
+
+
+class TestNonMonotonicity:
+    """Replacement semantics are genuinely double-edged (DESIGN.md §4)."""
+
+    def test_disabling_replacement_can_reopen_a2(self):
+        base = VendorDesign(
+            name="nm", device_auth=DeviceAuthMode.DEV_ID,
+            device_auth_known=DeviceAuthMode.DEV_ID, firmware_available=True,
+            rebind_replaces_existing=True, id_scheme="serial-number",
+        )
+        before = predict(base)
+        after = predict(_with(base, rebind_replaces_existing=False))
+        assert before["A2"] is Outcome.FAILED      # replacement recovers
+        assert after["A2"] is Outcome.SUCCESS      # ...and closing it reopens DoS
+        assert before["A4-1"] is Outcome.SUCCESS   # but replacement allowed hijack
+        assert after["A4-1"] is Outcome.FAILED
+
+    def test_dev_token_auth_can_reopen_a2(self):
+        """DevToken auth is not universally monotone either: under
+        device-initiated binding with replacement, the token-issuance
+        ownership gate blocks the *victim's* recovery rebind, turning a
+        recoverable occupation into a standing DoS."""
+        base = VendorDesign(
+            name="nm2", device_auth=DeviceAuthMode.DEV_ID,
+            device_auth_known=DeviceAuthMode.DEV_ID, firmware_available=True,
+            bind_sender=BindSender.DEVICE, rebind_replaces_existing=True,
+            id_scheme="serial-number",
+        )
+        before = predict(base)
+        after = predict(_with(
+            base,
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+            device_auth_known=DeviceAuthMode.DEV_TOKEN,
+        ))
+        assert before["A2"] is Outcome.FAILED
+        assert after["A2"] is Outcome.SUCCESS
+        # ...while wiping out the whole hijack family, as always:
+        for attack_id in ("A4-1", "A4-2", "A4-3"):
+            assert after[attack_id] is not Outcome.SUCCESS
+
+
+class TestStructuralTheorems:
+    @settings(max_examples=200, deadline=None)
+    @given(acl_designs())
+    def test_dev_token_designs_never_hijackable(self, design):
+        tokened = _with(
+            design,
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+            device_auth_known=DeviceAuthMode.DEV_TOKEN,
+        )
+        outcomes = predict(tokened)
+        for attack_id in ("A4-1", "A4-2", "A4-3"):
+            assert outcomes[attack_id] is not Outcome.SUCCESS
+
+    @settings(max_examples=200, deadline=None)
+    @given(acl_designs())
+    def test_post_binding_token_blocks_all_hijacks(self, design):
+        outcomes = predict(_with(design, post_binding_token=True))
+        for attack_id in ("A4-1", "A4-2", "A4-3"):
+            assert outcomes[attack_id] is not Outcome.SUCCESS
+
+    @settings(max_examples=200, deadline=None)
+    @given(acl_designs())
+    def test_a1_requires_devid_auth(self, design):
+        outcomes = predict(design)
+        if outcomes["A1"] is Outcome.SUCCESS:
+            assert design.device_auth is DeviceAuthMode.DEV_ID
+
+    @settings(max_examples=200, deadline=None)
+    @given(acl_designs())
+    def test_checked_everything_blocks_all_unbinding(self, design):
+        hardened = _with(
+            design,
+            unbind_supported=True,
+            unbind_checks_bound_user=True,
+            unbind_accepts_bare_dev_id=False,
+            rebind_replaces_existing=False,
+            single_connection_per_device=False,
+        )
+        outcomes = predict(hardened)
+        for attack_id in ("A3-1", "A3-2", "A3-3", "A3-4"):
+            assert outcomes[attack_id] is not Outcome.SUCCESS

@@ -1,0 +1,68 @@
+"""Tests for the ID-enumeration rate-limit countermeasure."""
+
+import pytest
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.id_inference import enumerate_ids
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.scenario import Deployment
+
+
+def limited_design(limit=5) -> VendorDesign:
+    return VendorDesign(
+        name="RateLimited", device_type="ip-camera",
+        device_auth=DeviceAuthMode.DEV_ID,
+        device_auth_known=DeviceAuthMode.DEV_ID,
+        firmware_available=True,
+        bind_probe_rate_limit=limit,
+        id_scheme="serial-number", id_serial_digits=7,
+    )
+
+
+class TestRateLimit:
+    def test_enumeration_stops_at_the_limit(self):
+        world = Deployment(limited_design(limit=5), seed=95)
+        attacker = RemoteAttacker(world)
+        attacker.login()
+        # Candidate IDs 0000000/0000001 are real (the two manufactured
+        # units), so the first 5 *unknown* probes are 0000002..0000006;
+        # after that every bind from this account is rejected.
+        stats = enumerate_ids(attacker, world.id_scheme, max_probes=50)
+        # the two real devices are found before the lockout engages, and
+        # nothing after it (rate-limited answers carry no information)
+        assert stats.found == ["0000000", "0000001"]
+        rejected = [e for e in world.cloud.audit.rejected()
+                    if e.outcome == "rate-limited"]
+        assert len(rejected) == 50 - 2 - 5
+
+    def test_lockout_does_not_affect_other_accounts(self):
+        world = Deployment(limited_design(limit=2), seed=95)
+        attacker = RemoteAttacker(world)
+        attacker.login()
+        enumerate_ids(attacker, world.id_scheme, max_probes=20)
+        # the victim's own setup is untouched by the attacker's lockout
+        assert world.victim_full_setup() or world.bound_user() is not None
+
+    def test_targeted_attack_with_known_id_still_works(self):
+        # Rate limiting blunts *enumeration*, not targeted attacks with a
+        # leaked ID — matching the paper's point that ID leakage is the
+        # fundamental problem (Section VII).
+        world = Deployment(limited_design(limit=3), seed=95)
+        attacker = RemoteAttacker(world)
+        attacker.login()
+        attacker.learn_victim_device_id(world.victim.device.device_id)
+        accepted, code, _ = attacker.send(attacker.forge_bind())
+        assert accepted, code
+
+    def test_no_limit_by_default(self):
+        world = Deployment(
+            VendorDesign(name="T", device_auth=DeviceAuthMode.DEV_ID,
+                         id_scheme="serial-number"), seed=95
+        )
+        attacker = RemoteAttacker(world)
+        attacker.login()
+        stats = enumerate_ids(attacker, world.id_scheme, max_probes=30)
+        rejected = [e for e in world.cloud.audit.rejected()
+                    if e.outcome == "rate-limited"]
+        assert not rejected
+        assert stats.attempted == 30

@@ -1,0 +1,75 @@
+"""Tests for the secure reference designs (Section VII recommendations)."""
+
+import pytest
+
+from repro.attacks.results import Outcome
+from repro.attacks.runner import run_attack
+from repro.secure import (
+    SECURE_BASELINES,
+    SECURE_CAPABILITY,
+    SECURE_DEVTOKEN,
+    SECURE_PUBKEY,
+    verify_all_baselines,
+    verify_design,
+)
+from repro.secure.verifier import expected_surviving_attacks
+
+
+class TestBaselineFunctionality:
+    """Secure designs must still *work* for legitimate users."""
+
+    @pytest.mark.parametrize("design", SECURE_BASELINES, ids=lambda d: d.name)
+    def test_legitimate_setup_and_control(self, design):
+        from repro.scenario import Deployment
+
+        world = Deployment(design, seed=9)
+        assert world.victim_full_setup(), design.name
+        assert world.shadow_state() == "control"
+        assert world.victim_can_control()
+
+
+class TestBaselineSecurity:
+    def test_capability_defeats_everything(self):
+        verdict = verify_design(SECURE_CAPABILITY, seed=9)
+        assert verdict.all_defeated, verdict.surviving_attacks()
+
+    def test_acl_baselines_leave_only_binding_occupation(self):
+        for design in (SECURE_DEVTOKEN, SECURE_PUBKEY):
+            verdict = verify_design(design, seed=9)
+            assert verdict.surviving_attacks() == ["A2"], design.name
+            assert verdict.matches_expectation
+
+    def test_no_baseline_allows_hijack_unbinding_or_data_leak(self):
+        for verdict in verify_all_baselines(seed=9):
+            assert verdict.no_hijack_or_data_leak, verdict.design.name
+
+    def test_expected_survivors_declared(self):
+        assert expected_surviving_attacks(SECURE_CAPABILITY) == []
+        assert expected_surviving_attacks(SECURE_DEVTOKEN) == ["A2"]
+
+    def test_no_unconfirmed_cells_despite_published_protocol(self):
+        # The baselines publish their firmware; security must not come
+        # from obscurity, so no outcome may be UNCONFIRMED.
+        for verdict in verify_all_baselines(seed=9):
+            outcomes = {r.outcome for r in verdict.reports.values()}
+            assert Outcome.UNCONFIRMED not in outcomes, verdict.design.name
+
+    def test_render_mentions_verdict(self):
+        verdict = verify_design(SECURE_CAPABILITY, seed=9)
+        assert "SECURE" in verdict.render()
+
+
+class TestSpecificDefences:
+    def test_pubkey_signature_blocks_status_forgery(self):
+        report = run_attack(SECURE_PUBKEY, "A1", seed=9)
+        assert report.outcome is Outcome.FAILED
+        assert "private key" in report.reason
+
+    def test_capability_blocks_remote_binding(self):
+        report = run_attack(SECURE_CAPABILITY, "A2", seed=9)
+        assert report.outcome is Outcome.FAILED
+        assert "bad-bind-token" in report.reason
+
+    def test_devtoken_rotation_blocks_hijack_after_occupation(self):
+        report = run_attack(SECURE_DEVTOKEN, "A4-2", seed=9)
+        assert report.outcome is Outcome.FAILED

