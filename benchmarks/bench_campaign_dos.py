@@ -8,6 +8,7 @@ and the mass-unbind variant on an unchecked-revocation design.
 from repro.attacks.campaign import campaign_binding_dos, campaign_mass_unbind
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
 from repro.fleet import FleetDeployment
+from repro.obs import Observability, render_report
 from repro.vendors import vendor
 
 from conftest import emit
@@ -23,6 +24,20 @@ def test_campaign_binding_dos_fleetwide(benchmark):
     assert report.victims_denied == 8
     assert report.denial_rate == 1.0
     emit("campaign_binding_dos", report.render())
+
+
+def test_campaign_binding_dos_traced(benchmark):
+    """The same campaign under full tracing; emits the obs run report."""
+
+    def campaign():
+        obs = Observability()
+        fleet = FleetDeployment(vendor("OZWI"), households=8, seed=5, observer=obs)
+        return obs, fleet, campaign_binding_dos(fleet, max_probes=64)
+
+    obs, fleet, report = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert report.victims_denied == 8
+    assert obs.matches_audit(fleet.cloud.audit)
+    emit("campaign_binding_dos_obs", render_report(obs))
 
 
 def test_campaign_mass_unbind_fleetwide(benchmark):

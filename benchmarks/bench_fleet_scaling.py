@@ -2,14 +2,17 @@
 
 Builds and operates worlds of up to 100 independent households against
 one cloud — the scale at which Section V-C's "entire product series"
-framing becomes literal — and pins the cost of doing so.
+framing becomes literal — and pins the cost of doing so.  The traced
+variant also emits the full observability snapshot to
+``benchmarks/output/BENCH_obs.json``.
 """
 
 from repro.attacks.campaign import campaign_binding_dos
 from repro.fleet import FleetDeployment
+from repro.obs import Observability, to_json
 from repro.vendors import vendor
 
-from conftest import emit
+from conftest import OUTPUT_DIR, emit
 
 
 def test_build_and_operate_100_households(benchmark):
@@ -45,4 +48,34 @@ def test_campaign_against_100_households(benchmark):
         f"128 probes occupied all {report.ids_hit} units; "
         f"{report.victims_denied}/100 customers denied "
         f"({report.modelled_seconds:.2f}s of modelled attack traffic)",
+    )
+
+
+def test_traced_campaign_emits_obs_snapshot(benchmark):
+    """The 100-household campaign, instrumented: snapshot → BENCH_obs.json."""
+
+    def traced_campaign():
+        obs = Observability()
+        fleet = FleetDeployment(
+            vendor("OZWI"), households=100, seed=8, observer=obs
+        )
+        report = campaign_binding_dos(fleet, max_probes=128)
+        fleet.run(15.0)
+        return obs, fleet, report
+
+    obs, fleet, report = benchmark.pedantic(traced_campaign, rounds=1, iterations=1)
+    assert report.victims_denied == 100
+    # the headline acceptance check: attack-outcome counts in the
+    # metrics snapshot equal the cloud audit log exactly
+    assert obs.matches_audit(fleet.cloud.audit)
+    audit_counter = obs.metrics.counter("cloud.audit.entries")
+    assert audit_counter.total() == len(fleet.cloud.audit)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_obs.json").write_text(to_json(obs), encoding="utf-8")
+    emit(
+        "fleet_campaign_obs",
+        f"traced 100-household campaign: {len(obs.tracer)} spans, "
+        f"{int(audit_counter.total())} audited requests "
+        f"(metrics==audit: {obs.matches_audit(fleet.cloud.audit)}); "
+        f"snapshot written to BENCH_obs.json",
     )

@@ -1,0 +1,80 @@
+"""Observability overhead: what does watching the fleet cost?
+
+Runs the same 100-device fleet campaign three ways — uninstrumented
+(the shared null observer), fully instrumented (spans + metrics +
+profile), and instrumented with per-message exchange spans disabled —
+and records the wall-clock ratio to
+``benchmarks/output/observability_overhead.txt``.
+
+The acceptance bar (ISSUE 1) is that the *null-observer* path costs
+essentially nothing: the default run here is byte-identical to the
+pre-observability code path except for a handful of no-op calls per
+request batch.
+"""
+
+import time
+
+from repro.attacks.campaign import campaign_binding_dos
+from repro.fleet import FleetDeployment
+from repro.obs import Observability
+from repro.vendors import vendor
+
+from conftest import emit
+
+HOUSEHOLDS = 100
+PROBES = 128
+ROUNDS = 3
+
+
+def _campaign(observer):
+    fleet = FleetDeployment(
+        vendor("OZWI"), households=HOUSEHOLDS, seed=8, observer=observer
+    )
+    report = campaign_binding_dos(fleet, max_probes=PROBES)
+    fleet.run(10.0)
+    return fleet, report
+
+
+def _best_of(make_observer, rounds=ROUNDS):
+    best = float("inf")
+    last = None
+    for _ in range(rounds):
+        observer = make_observer()
+        t0 = time.perf_counter()
+        last = _campaign(observer)
+        best = min(best, time.perf_counter() - t0)
+    return best, last
+
+
+def test_observability_overhead(benchmark):
+    _campaign(None)  # warm every code path once
+
+    def measure():
+        null_s, _ = _best_of(lambda: None)
+        lean_s, _ = _best_of(lambda: Observability(trace_messages=False))
+        full_s, (fleet, report) = _best_of(lambda: Observability())
+        return null_s, lean_s, full_s, fleet, report
+
+    null_s, lean_s, full_s, fleet, report = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    obs = fleet.env.observer
+    assert report.victims_denied == HOUSEHOLDS
+    assert obs.matches_audit(fleet.cloud.audit)
+    # Full instrumentation on a 100-household campaign stays cheap, and
+    # the null path is by construction the fast one (generous noise bar).
+    assert null_s <= full_s * 2.0 + 0.25
+
+    lines = [
+        f"{HOUSEHOLDS}-household binding-DoS campaign, {PROBES} probes, "
+        f"best of {ROUNDS}:",
+        f"  null observer (default)        {null_s * 1000:8.1f} ms   (baseline)",
+        f"  metrics only (no msg spans)    {lean_s * 1000:8.1f} ms   "
+        f"({(lean_s / null_s - 1) * 100:+5.1f}%)",
+        f"  full tracing + metrics         {full_s * 1000:8.1f} ms   "
+        f"({(full_s / null_s - 1) * 100:+5.1f}%)",
+        f"  spans recorded: {len(obs.tracer)}   "
+        f"audit entries: {len(fleet.cloud.audit)}   "
+        f"metrics==audit: {obs.matches_audit(fleet.cloud.audit)}",
+    ]
+    emit("observability_overhead", "\n".join(lines))

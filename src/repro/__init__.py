@@ -28,6 +28,7 @@ from repro.analysis import (
 from repro.attacks import AttackReport, Outcome, RemoteAttacker, run_all_attacks, run_attack
 from repro.cloud import BindSchema, BindSender, CloudService, DeviceAuthMode, VendorDesign
 from repro.core import DeviceShadow, MessageKind, ShadowEvent, ShadowState
+from repro.obs import Observability
 from repro.scenario import Deployment, Party, build_deployment
 from repro.secure import SECURE_BASELINES, verify_all_baselines, verify_design
 from repro.vendors import PAPER_TABLE_III, STUDIED_VENDORS, vendor
@@ -43,6 +44,7 @@ __all__ = [
     "DeviceAuthMode",
     "DeviceShadow",
     "MessageKind",
+    "Observability",
     "Outcome",
     "PAPER_TABLE_III",
     "Party",

@@ -70,23 +70,33 @@ def campaign_binding_dos(
     Then every household attempts its normal setup; a household counts
     as denied if the flow fails end to end.
     """
-    token = fleet.attacker_token()
-    probed = hits = 0
-    for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
-        probed += 1
-        accepted, code = _send(
-            fleet, BindMessage(device_id=candidate, user_token=token)
-        )
-        if accepted or code != "unknown-device":
-            hits += 1
+    obs = fleet.env.observer
+    with obs.span(
+        "campaign:binding-dos", kind="scenario",
+        vendor=fleet.design.name, households=len(fleet.households),
+    ):
+        token = fleet.attacker_token()
+        probed = hits = 0
+        with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+            for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
+                probed += 1
+                accepted, code = _send(
+                    fleet, BindMessage(device_id=candidate, user_token=token)
+                )
+                if accepted or code != "unknown-device":
+                    hits += 1
 
-    denied = 0
-    details = []
-    for household in fleet.households:
-        ok = fleet.setup_household(household)
-        if not ok:
-            denied += 1
-            details.append(f"{household.user_id}: setup DENIED")
+        denied = 0
+        details = []
+        with obs.span("victim-setups", kind="phase"):
+            for household in fleet.households:
+                ok = fleet.setup_household(household)
+                if not ok:
+                    denied += 1
+                    details.append(f"{household.user_id}: setup DENIED")
+        obs.count("campaign.probes", probed, campaign="binding-dos")
+        obs.count("campaign.hits", hits, campaign="binding-dos")
+        obs.count("campaign.denied", denied, campaign="binding-dos")
     return CampaignReport(
         campaign="binding-dos",
         vendor=fleet.design.name,
@@ -107,21 +117,30 @@ def campaign_mass_unbind(
     Requires an already-set-up fleet; effective only on vendors whose
     Type-1 unbind skips the bound-user check.
     """
-    token = fleet.attacker_token()
-    probed = hits = 0
-    for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
-        probed += 1
-        accepted, _ = _send(
-            fleet, UnbindMessage(device_id=candidate, user_token=token)
-        )
-        if accepted:
-            hits += 1
+    obs = fleet.env.observer
+    with obs.span(
+        "campaign:mass-unbind", kind="scenario",
+        vendor=fleet.design.name, households=len(fleet.households),
+    ):
+        token = fleet.attacker_token()
+        probed = hits = 0
+        with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+            for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
+                probed += 1
+                accepted, _ = _send(
+                    fleet, UnbindMessage(device_id=candidate, user_token=token)
+                )
+                if accepted:
+                    hits += 1
 
-    denied = sum(
-        1
-        for household in fleet.households
-        if fleet.cloud.bound_user_of(household.device.device_id) != household.user_id
-    )
+        denied = sum(
+            1
+            for household in fleet.households
+            if fleet.cloud.bound_user_of(household.device.device_id) != household.user_id
+        )
+        obs.count("campaign.probes", probed, campaign="mass-unbind")
+        obs.count("campaign.hits", hits, campaign="mass-unbind")
+        obs.count("campaign.denied", denied, campaign="mass-unbind")
     return CampaignReport(
         campaign="mass-unbind",
         vendor=fleet.design.name,

@@ -8,7 +8,7 @@ likewise reset devices between experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.attacks.attacker import RemoteAttacker
 from repro.attacks.data_attacks import attack_data_injection_and_stealing
@@ -27,6 +27,7 @@ from repro.attacks.unbinding import (
 )
 from repro.cloud.policy import BindSender, VendorDesign
 from repro.core.errors import AttackPreconditionError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.scenario import Deployment
 
 AttackFn = Callable[[Deployment, RemoteAttacker], AttackReport]
@@ -75,8 +76,20 @@ def prepare_state(deployment: Deployment, targeted_state: str) -> None:
     raise AttackPreconditionError(f"unknown targeted state {targeted_state!r}")
 
 
-def run_attack(design: VendorDesign, attack_id: str, seed: int = 0) -> AttackReport:
-    """Run one attack against one vendor in a fresh world."""
+def run_attack(
+    design: VendorDesign,
+    attack_id: str,
+    seed: int = 0,
+    observer: Optional[Observer] = None,
+) -> AttackReport:
+    """Run one attack against one vendor in a fresh world.
+
+    Passing an :class:`~repro.obs.runtime.Observability` as *observer*
+    traces the attempt as one ``attack:<id>`` scenario span (with
+    ``prepare``/``execute`` phases beneath it), profiles the execution
+    hot path, and counts the outcome.
+    """
+    obs = observer if observer is not None else NULL_OBSERVER
     try:
         attack_fn, targeted_state = ATTACKS[attack_id]
     except KeyError:
@@ -84,17 +97,32 @@ def run_attack(design: VendorDesign, attack_id: str, seed: int = 0) -> AttackRep
     if attack_id == "A4-2" and design.bind_sender is BindSender.DEVICE:
         # Device-initiated binding is atomic with registration: the
         # "online, unbound" setup window A4-2 exploits never exists.
-        return AttackReport(
+        report = AttackReport(
             "A4-2", design.name, Outcome.NOT_APPLICABLE,
             "device-initiated binding is atomic with registration: no window",
         )
-    deployment = Deployment(design, seed=seed)
-    attacker = RemoteAttacker(deployment)
-    attacker.login()
-    prepare_state(deployment, targeted_state)
-    return attack_fn(deployment, attacker)
+        obs.on_attack(report)
+        return report
+    with obs.span(
+        f"attack:{attack_id}", kind="scenario",
+        vendor=design.name, targeted_state=targeted_state,
+    ):
+        deployment = Deployment(design, seed=seed, observer=observer)
+        attacker = RemoteAttacker(deployment)
+        attacker.login()
+        with obs.span("prepare", kind="phase"):
+            prepare_state(deployment, targeted_state)
+        with obs.profile("attacks.run_attack"), obs.span("execute", kind="phase"):
+            report = attack_fn(deployment, attacker)
+    obs.on_attack(report)
+    return report
 
 
-def run_all_attacks(design: VendorDesign, seed: int = 0) -> Dict[str, AttackReport]:
+def run_all_attacks(
+    design: VendorDesign, seed: int = 0, observer: Optional[Observer] = None
+) -> Dict[str, AttackReport]:
     """Run the full A1–A4-3 battery against one vendor."""
-    return {attack_id: run_attack(design, attack_id, seed) for attack_id in ATTACK_IDS}
+    return {
+        attack_id: run_attack(design, attack_id, seed, observer=observer)
+        for attack_id in ATTACK_IDS
+    }

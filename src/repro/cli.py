@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro entropy             # device-ID enumerability table
     python -m repro sweep               # design-space sweep
     python -m repro secure              # attack the recommended designs
+    python -m repro obs                 # traced fleet campaign run report
 """
 
 from __future__ import annotations
@@ -148,6 +149,46 @@ def _cmd_secure(args: argparse.Namespace) -> str:
     return "\n\n".join(v.render() for v in verify_all_baselines(seed=args.seed))
 
 
+def _cmd_obs(args: argparse.Namespace) -> str:
+    from repro.obs import Observability, render_report, to_json
+    from repro.vendors import vendor
+
+    obs = Observability(trace_messages=not args.no_messages)
+    design = vendor(args.vendor)
+    if args.mode == "attacks":
+        from repro.attacks.runner import run_all_attacks
+
+        reports = run_all_attacks(design, seed=args.seed, observer=obs)
+        summary = "\n".join(r.line() for r in reports.values())
+        audit = None
+    else:
+        from repro.attacks.campaign import campaign_binding_dos, campaign_mass_unbind
+        from repro.fleet import FleetDeployment
+
+        fleet = FleetDeployment(
+            design, households=args.households, seed=args.seed, observer=obs
+        )
+        if args.mode == "mass-unbind":
+            fleet.setup_all()
+            fleet.run(12.0)
+            report = campaign_mass_unbind(fleet, max_probes=args.probes)
+        else:
+            report = campaign_binding_dos(fleet, max_probes=args.probes)
+        summary = report.render()
+        audit = fleet.cloud.audit
+    if args.format == "json":
+        return to_json(obs)
+    text = render_report(obs) + "\n\n== run summary ==\n" + summary
+    if audit is not None:
+        consistent = obs.matches_audit(audit)
+        text += (
+            f"\n\nmetrics vs audit log: "
+            f"{'consistent' if consistent else 'MISMATCH'} "
+            f"({len(audit)} audit entries)"
+        )
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (one subcommand per artifact)."""
     parser = argparse.ArgumentParser(
@@ -194,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     fix = sub.add_parser("fix", help="minimal redesign that closes every attack")
     fix.add_argument("vendor")
     fix.set_defaults(run=_cmd_fix)
+
+    obs = sub.add_parser(
+        "obs", help="run a traced fleet campaign / attack battery and report"
+    )
+    obs.add_argument("--vendor", default="OZWI")
+    obs.add_argument("--mode", choices=["binding-dos", "mass-unbind", "attacks"],
+                     default="binding-dos",
+                     help="what to execute under the tracer")
+    obs.add_argument("--households", type=int, default=10)
+    obs.add_argument("--probes", type=int, default=64,
+                     help="ID-space probes for campaign runs")
+    obs.add_argument("--format", choices=["text", "json"], default="text")
+    obs.add_argument("--no-messages", action="store_true",
+                     help="skip per-request exchange spans (aggregates only)")
+    obs.set_defaults(run=_cmd_obs)
 
     sub.add_parser("sweep", help="closed-form design-space sweep").set_defaults(run=_cmd_sweep)
     sub.add_parser("secure", help="attack the recommended designs").set_defaults(run=_cmd_secure)

@@ -4,12 +4,19 @@ The paper identifies attack failures "from response messages"
 (Section VIII); the audit log is the reproduction's equivalent record —
 every request, its claimed origin, and the outcome code.  It also powers
 the Figure 1/3/4 sequence traces.
+
+The log doubles as the cloud's single observability feed: when an
+observer is installed (``AuditLog(observer=...)``), every recorded entry
+is forwarded to :meth:`~repro.obs.observer.Observer.on_audit`, which the
+:class:`~repro.obs.runtime.Observability` runtime turns into message
+counters and exchange spans — one source of truth, no duplicate
+bookkeeping, and counter totals provably equal to the log's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 
 @dataclass(frozen=True)
@@ -34,10 +41,11 @@ class AuditEntry:
 
 
 class AuditLog:
-    """Append-only record of handled requests."""
+    """Append-only record of handled requests (optionally observed)."""
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[Any] = None) -> None:
         self.entries: List[AuditEntry] = []
+        self._observer = observer
 
     def record(
         self,
@@ -48,9 +56,11 @@ class AuditLog:
         outcome: str = "ok",
         detail: str = "",
     ) -> None:
-        self.entries.append(
-            AuditEntry(time, source_node, source_ip, summary, outcome, detail)
-        )
+        """Append one entry; forward it to the observer when installed."""
+        entry = AuditEntry(time, source_node, source_ip, summary, outcome, detail)
+        self.entries.append(entry)
+        if self._observer is not None:
+            self._observer.on_audit(entry)
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -46,11 +46,16 @@ from repro.identity.keys import PublicKey
 from repro.identity.tokens import TokenService
 from repro.net.network import Network
 from repro.net.packet import Packet
+from repro.obs.observer import NULL_OBSERVER
 from repro.sim.environment import Environment
 
 
 class CloudService:
     """A vendor's IoT cloud on the simulated internet."""
+
+    #: class-level fallback so instances built without ``__init__``
+    #: (e.g. the persistence tests' restart path) stay uninstrumented
+    _observer = NULL_OBSERVER
 
     def __init__(
         self,
@@ -69,9 +74,15 @@ class CloudService:
         self.registry = DeviceRegistry(self.tokens)
         self.bindings = BindingStore()
         self.shares = ShareStore()
-        self.shadows = ShadowStore()
+        # Observability: the audit log feeds the observer (one source of
+        # truth for message counters/spans) and shadows report Figure 2
+        # transitions.  With the null observer installed, both stores
+        # keep their fast uninstrumented paths.
+        self._observer = env.observer
+        instrumented = None if self._observer is NULL_OBSERVER else self._observer
+        self.shadows = ShadowStore(observer=instrumented)
         self.relay = Relay()
-        self.audit = AuditLog()
+        self.audit = AuditLog(observer=instrumented)
         #: per-account unknown-device bind failures (enumeration defence)
         self.bind_probe_failures: dict = {}
         self.events = EventFeed()
@@ -126,21 +137,22 @@ class CloudService:
     def handle_packet(self, packet: Packet) -> Message:
         """Network entry point: dispatch by message type, audit everything."""
         message = packet.message
-        try:
-            response = self._dispatch(packet, message)
-        except RequestRejected as exc:
+        with self._observer.profile("cloud.handle_packet"):
+            try:
+                response = self._dispatch(packet, message)
+            except RequestRejected as exc:
+                self.audit.record(
+                    self.now,
+                    packet.src,
+                    str(packet.observed_src_ip),
+                    describe(message),
+                    exc.code,
+                    exc.detail,
+                )
+                raise
             self.audit.record(
-                self.now,
-                packet.src,
-                str(packet.observed_src_ip),
-                describe(message),
-                exc.code,
-                exc.detail,
+                self.now, packet.src, str(packet.observed_src_ip), describe(message)
             )
-            raise
-        self.audit.record(
-            self.now, packet.src, str(packet.observed_src_ip), describe(message)
-        )
         return response
 
     def _dispatch(self, packet: Packet, message: Message) -> Message:

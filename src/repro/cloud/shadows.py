@@ -8,10 +8,10 @@ liveness sweep that moves shadows offline when heartbeats stop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.errors import UnknownDevice
-from repro.core.shadow import DeviceShadow
+from repro.core.shadow import DeviceShadow, TransitionRecord
 from repro.net.address import IpAddress
 
 
@@ -24,17 +24,37 @@ class RegistrationMark:
 
 
 class ShadowStore:
-    """All device shadows plus registration bookkeeping."""
+    """All device shadows plus registration bookkeeping.
 
-    def __init__(self) -> None:
+    When built with an *observer*, every shadow created here reports its
+    real Figure 2 transitions via
+    :meth:`~repro.obs.observer.Observer.on_shadow_transition`;
+    uninstrumented stores leave the per-shadow hook unset, so the state
+    machine's hot path stays untouched.
+    """
+
+    def __init__(self, observer: Optional[Any] = None) -> None:
         self._shadows: Dict[str, DeviceShadow] = {}
         self._registrations: Dict[str, RegistrationMark] = {}
+        self._observer = observer
 
     def create(self, device_id: str) -> DeviceShadow:
         """Create the shadow for a newly manufactured device."""
         shadow = DeviceShadow(device_id)
+        if self._observer is not None:
+            shadow.on_transition = self._emit_transition
         self._shadows[device_id] = shadow
         return shadow
+
+    def _emit_transition(self, shadow: DeviceShadow, record: TransitionRecord) -> None:
+        """Forward one recorded transition to the observer."""
+        self._observer.on_shadow_transition(
+            shadow.device_id,
+            record.event.value,
+            record.before.value,
+            record.after.value,
+            record.time,
+        )
 
     def get(self, device_id: str) -> DeviceShadow:
         try:

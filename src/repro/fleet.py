@@ -23,6 +23,7 @@ from repro.identity.device_ids import scheme_from_name
 from repro.identity.keys import generate_keypair
 from repro.net.network import Network
 from repro.net.provisioning import ProvisioningAir
+from repro.obs.observer import Observer
 from repro.sim.environment import Environment
 
 
@@ -44,20 +45,29 @@ class Household:
 class FleetDeployment:
     """A vendor cloud serving *households* customers, plus an attacker."""
 
-    def __init__(self, design: VendorDesign, households: int = 5, seed: int = 0) -> None:
+    def __init__(
+        self,
+        design: VendorDesign,
+        households: int = 5,
+        seed: int = 0,
+        observer: Optional[Observer] = None,
+    ) -> None:
         if households < 1:
             raise ConfigurationError("a fleet needs at least one household")
         self.design = design
-        self.env = Environment(seed=seed)
+        self.env = Environment(seed=seed, observer=observer)
         self.network = Network(self.env)
         self.air = ProvisioningAir()
         self.cloud = CloudService(self.env, self.network, design)
         self.id_scheme = scheme_from_name(
             design.id_scheme, oui=design.id_oui, digits=design.id_serial_digits
         )
-        self.households: List[Household] = [
-            self._build_household(index) for index in range(households)
-        ]
+        with self.env.observer.span(
+            "fleet:build", kind="phase", vendor=design.name, households=households
+        ):
+            self.households: List[Household] = [
+                self._build_household(index) for index in range(households)
+            ]
         # The attacker: an account and an internet-facing host, no LAN
         # access to anyone.
         self.attacker_user = "mallory@example.com"
@@ -118,6 +128,13 @@ class FleetDeployment:
 
     def setup_household(self, household: Household) -> bool:
         """Run the Figure 1 flow for one customer; True on success."""
+        obs = self.env.observer
+        with obs.profile("fleet.setup_household"), obs.span(
+            f"household:{household.index}", kind="phase", user=household.user_id
+        ):
+            return self._setup_household(household)
+
+    def _setup_household(self, household: Household) -> bool:
         app, device = household.app, household.device
         try:
             if app.user_token is None:
@@ -136,10 +153,15 @@ class FleetDeployment:
 
     def setup_all(self) -> int:
         """Set up every household; returns how many succeeded."""
-        return sum(1 for household in self.households if self.setup_household(household))
+        with self.env.observer.span("fleet:setup", kind="phase"):
+            return sum(
+                1 for household in self.households if self.setup_household(household)
+            )
 
     def run(self, seconds: float) -> None:
-        self.env.run_for(seconds)
+        """Advance the whole fleet's world by *seconds* virtual seconds."""
+        with self.env.observer.span("fleet:run", kind="phase", seconds=seconds):
+            self.env.run_for(seconds)
 
     def bound_users(self) -> Dict[str, Optional[str]]:
         """device_id -> bound account, fleet-wide."""

@@ -1,0 +1,50 @@
+"""Fleet-scale observability: tracing, metrics and profiling hooks.
+
+The subsystem has four small parts (see ``docs/observability.md``):
+
+* :mod:`repro.obs.observer` — the :class:`Observer` seam every layer is
+  instrumented against, with a shared no-op :data:`NULL_OBSERVER`;
+* :mod:`repro.obs.tracer` — hierarchical :class:`Span` trees on the
+  virtual clock (scenario → phase → message exchange);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and histograms;
+* :mod:`repro.obs.profiler` — wall-clock :class:`Profiler` for the hot
+  paths.
+
+:class:`Observability` (:mod:`repro.obs.runtime`) bundles all three and
+is what callers actually pass around::
+
+    from repro.obs import Observability
+    from repro.fleet import FleetDeployment
+    from repro.attacks.campaign import campaign_binding_dos
+    from repro.vendors import vendor
+
+    obs = Observability()
+    fleet = FleetDeployment(vendor("OZWI"), households=20, observer=obs)
+    campaign_binding_dos(fleet, max_probes=64)
+    print(render_report(obs))          # span tree + metrics + profile
+    assert obs.matches_audit(fleet.cloud.audit)
+"""
+
+from repro.obs.export import render_report, snapshot, to_json
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.profiler import Profiler
+from repro.obs.runtime import Observability
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observability",
+    "Observer",
+    "Profiler",
+    "Span",
+    "Tracer",
+    "render_report",
+    "snapshot",
+    "to_json",
+]

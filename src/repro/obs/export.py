@@ -1,0 +1,62 @@
+"""Exporters: one observability run → JSON snapshot or text report.
+
+Two formats, both self-contained:
+
+* :func:`snapshot` / :func:`to_json` — a plain dict/JSON document with
+  the span forest, the metric catalog and the wall-clock profile
+  (schema documented in ``docs/observability.md``).  This is what the
+  fleet benchmarks write to ``benchmarks/output/BENCH_obs.json``.
+* :func:`render_report` — the human-readable run report behind the
+  ``python -m repro obs`` subcommand: span tree, metrics table,
+  profile table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.obs.runtime import Observability
+
+#: Schema version stamped into every JSON snapshot.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(obs: Observability, include_wall: bool = True) -> Dict[str, Any]:
+    """Render one run into a JSON-ready dict.
+
+    ``include_wall=False`` strips wall-clock fields, leaving only
+    deterministic content (two same-seed runs then produce identical
+    snapshots — the determinism test relies on this).
+    """
+    data: Dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "spans": [root.to_dict(include_wall) for root in obs.tracer.roots],
+        "span_count": len(obs.tracer),
+        "spans_dropped": obs.tracer.dropped,
+        "metrics": obs.metrics.snapshot(),
+    }
+    if include_wall:
+        data["profile"] = obs.profiler.snapshot()
+    return data
+
+
+def to_json(obs: Observability, include_wall: bool = True, indent: int = 2) -> str:
+    """JSON-serialise :func:`snapshot`."""
+    return json.dumps(snapshot(obs, include_wall), indent=indent, sort_keys=True)
+
+
+def render_report(obs: Observability, max_exchanges_per_span: int = 12) -> str:
+    """The full text run report: spans, then metrics, then profile."""
+    sections = [
+        "== span tree (virtual time) ==",
+        obs.tracer.render(max_exchanges_per_span=max_exchanges_per_span)
+        or "(no spans recorded)",
+        "",
+        "== metrics ==",
+        obs.metrics.render(),
+        "",
+        "== wall-clock profile ==",
+        obs.profiler.render(),
+    ]
+    return "\n".join(sections)

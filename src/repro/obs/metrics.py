@@ -1,0 +1,177 @@
+"""Counters, gauges and histograms for the simulated fleet.
+
+The registry is deliberately tiny and dependency-free: metrics are named
+(``dotted.names``), optionally labelled (sorted ``(key, value)`` tuples,
+so label order never matters), and snapshot to plain dicts for the JSON
+exporter.  The catalog produced by an instrumented run is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Normalise a label dict into a hashable, order-independent key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing, optionally labelled counter."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels: Any) -> None:
+        """Add *n* to the series selected by *labels*."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + n
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every labelled series."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        """All labelled series, keyed by normalised label tuples."""
+        return dict(self._values)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of ``{labels, value}`` rows, label-sorted."""
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (plus its observed peak)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value; the peak is tracked automatically."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-ready ``{value, peak}``."""
+        return {"value": self.value, "peak": self.peak}
+
+
+#: Default histogram bucket upper bounds (virtual seconds / generic units).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    def __init__(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS, help: str = ""
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 for the overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready summary with per-bucket counts."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                (f"le_{bound}" if i < len(self.bounds) else "inf"): self.counts[i]
+                for i, bound in enumerate(list(self.bounds) + [None])
+            },
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created, name-addressed metric instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called *name*."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name, help)
+        return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called *name*."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, help)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS, help: str = ""
+    ) -> Histogram:
+        """Get or create the histogram called *name*."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, buckets, help)
+        return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every instrument, grouped by type."""
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Fixed-width text table of every instrument."""
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"counter   {name:<34} total={counter.total():g}")
+            for key, value in sorted(counter.series().items()):
+                labels = ",".join(f"{k}={v}" for k, v in key) or "(unlabelled)"
+                lines.append(f"          {'':<34} {labels:<44} {value:g}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(
+                f"gauge     {name:<34} value={gauge.value:g} peak={gauge.peak:g}"
+            )
+        for name, hist in sorted(self._histograms.items()):
+            lines.append(
+                f"histogram {name:<34} n={hist.count} mean={hist.mean:.2f} "
+                f"min={hist.min if hist.min is not None else '-'} "
+                f"max={hist.max if hist.max is not None else '-'}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

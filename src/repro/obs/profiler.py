@@ -1,0 +1,77 @@
+"""Wall-clock profiling of the simulator's hot paths.
+
+Unlike the tracer (which positions work on the *virtual* timeline), the
+profiler answers "where does the real CPU time go": each named section
+accumulates call count and total ``perf_counter_ns`` duration.  Sections
+are wired at the four hot paths the fleet benchmarks exercise —
+``scheduler.run`` (:meth:`repro.sim.scheduler.Scheduler.run_until`),
+``cloud.handle_packet`` (:meth:`repro.cloud.service.CloudService.handle_packet`),
+``attacks.run_attack`` (:func:`repro.attacks.runner.run_attack`) and
+``fleet.setup_household`` (:meth:`repro.fleet.FleetDeployment.setup_household`).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List
+
+
+class _SectionTimer:
+    """Context manager that adds its elapsed time to one section."""
+
+    __slots__ = ("_profiler", "_section", "_t0")
+
+    def __init__(self, profiler: "Profiler", section: str) -> None:
+        self._profiler = profiler
+        self._section = section
+        self._t0 = 0
+
+    def __enter__(self) -> None:
+        self._t0 = _time.perf_counter_ns()
+
+    def __exit__(self, *exc: Any) -> None:
+        self._profiler.add(self._section, _time.perf_counter_ns() - self._t0)
+
+
+class Profiler:
+    """Accumulates (calls, total wall nanoseconds) per named section."""
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {}
+        self.total_ns: Dict[str, int] = {}
+
+    def section(self, section: str) -> _SectionTimer:
+        """Return a context manager timing one entry into *section*."""
+        return _SectionTimer(self, section)
+
+    def add(self, section: str, elapsed_ns: int, calls: int = 1) -> None:
+        """Record *calls* entries into *section* totalling *elapsed_ns*."""
+        self.calls[section] = self.calls.get(section, 0) + calls
+        self.total_ns[section] = self.total_ns.get(section, 0) + elapsed_ns
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-section totals (milliseconds, not nanoseconds)."""
+        return {
+            section: {
+                "calls": self.calls[section],
+                "total_ms": self.total_ns[section] / 1e6,
+                "mean_us": (self.total_ns[section] / self.calls[section] / 1e3)
+                if self.calls[section]
+                else 0.0,
+            }
+            for section in sorted(self.calls)
+        }
+
+    def render(self) -> str:
+        """Fixed-width text table, most expensive section first."""
+        if not self.calls:
+            return "(no profiled sections)"
+        rows: List[str] = [
+            f"{'section':<28} {'calls':>8} {'total ms':>10} {'mean µs':>10}"
+        ]
+        for section in sorted(self.total_ns, key=self.total_ns.get, reverse=True):
+            calls = self.calls[section]
+            total_ms = self.total_ns[section] / 1e6
+            mean_us = self.total_ns[section] / calls / 1e3 if calls else 0.0
+            rows.append(f"{section:<28} {calls:>8} {total_ms:>10.2f} {mean_us:>10.1f}")
+        return "\n".join(rows)

@@ -1,0 +1,138 @@
+"""The real :class:`Observer`: tracer + metrics + profiler in one handle.
+
+Create one :class:`Observability`, pass it wherever a world is built
+(``Deployment(..., observer=obs)``, ``FleetDeployment(..., observer=obs)``,
+``run_attack(..., observer=obs)``) and every instrumented layer feeds it:
+the cloud's audit log becomes message counters and exchange spans, shadow
+stores report Figure 2 transitions, attacks report outcomes, and the
+scheduler reports batch sizes, queue depth and heap compactions.
+
+The same instance can observe several consecutive worlds (the attack
+runner builds a fresh world per attempt); :meth:`attach` simply rebinds
+the virtual-clock time source to the newest environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
+
+
+class Observability(Observer):
+    """Collects spans, metrics and profiles from an instrumented run.
+
+    ``trace_messages=False`` disables the per-request exchange leaves
+    (counters still accumulate) — useful for very large campaigns where
+    only aggregates matter.
+    """
+
+    def __init__(self, trace_messages: bool = True, max_spans: int = 100_000) -> None:
+        self.tracer = Tracer(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler()
+        self.trace_messages = trace_messages
+        self._env: Optional[Any] = None
+
+    # -- Observer protocol ---------------------------------------------------
+
+    def attach(self, env: Any) -> None:
+        """Bind span timestamps to *env*'s virtual clock (latest wins)."""
+        self._env = env
+        self.tracer.set_time_source(lambda: env.clock.now)
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> ContextManager[Any]:
+        """Open a trace span (see :meth:`repro.obs.tracer.Tracer.span`)."""
+        return self.tracer.span(name, kind=kind, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration leaf span."""
+        self.tracer.event(name, **attrs)
+
+    def profile(self, section: str) -> ContextManager[Any]:
+        """Time one entry into a named wall-clock section."""
+        return self.profiler.section(section)
+
+    def count(self, name: str, n: int = 1, **labels: Any) -> None:
+        """Increment the counter *name*."""
+        self.metrics.counter(name).inc(n, **labels)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name*."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram *name*."""
+        self.metrics.histogram(name).observe(value)
+
+    # -- domain hooks --------------------------------------------------------
+
+    def on_audit(self, entry: Any) -> None:
+        """Fold one audit entry into message counters (+ exchange leaf)."""
+        counter = self.metrics.counter(
+            "cloud.audit.entries", help="audit entries by (summary, outcome)"
+        )
+        counter.inc(summary=entry.summary, outcome=entry.outcome)
+        if entry.outcome == "ok":
+            self.metrics.counter("cloud.audit.ok").inc()
+        else:
+            self.metrics.counter("cloud.audit.rejected").inc()
+        if self.trace_messages:
+            self.tracer.event(
+                entry.summary, source=entry.source_node, outcome=entry.outcome
+            )
+
+    def on_shadow_transition(
+        self, device_id: str, event: Any, before: Any, after: Any, time: float
+    ) -> None:
+        """Count one Figure 2 transition by event and edge."""
+        self.metrics.counter(
+            "shadow.transitions", help="Figure 2 transitions by (event, edge)"
+        ).inc(event=str(event), edge=f"{before}->{after}")
+
+    def on_attack(self, report: Any) -> None:
+        """Count one finished attack attempt by id and outcome."""
+        self.metrics.counter(
+            "attacks.attempts", help="attack attempts by (attack_id, outcome)"
+        ).inc(attack_id=report.attack_id, outcome=report.outcome.value)
+        if report.succeeded:
+            self.metrics.counter("attacks.successes").inc()
+
+    def on_scheduler_flush(self, executed: int, queue_depth: int) -> None:
+        """Record one run_until batch: events executed + queue depth."""
+        if executed:
+            self.metrics.counter("scheduler.events").inc(executed)
+            self.metrics.histogram("scheduler.batch").observe(executed)
+        self.metrics.gauge(
+            "scheduler.queue_depth", help="pending entries after a batch"
+        ).set(queue_depth)
+
+    def on_compaction(self, removed: int, compactions: int) -> None:
+        """Record one heap compaction sweep."""
+        self.metrics.counter("scheduler.compacted_entries").inc(removed)
+        self.metrics.gauge("scheduler.compactions").set(compactions)
+
+    # -- consistency ---------------------------------------------------------
+
+    def matches_audit(self, audit: Any) -> bool:
+        """True iff message counters agree exactly with an audit log.
+
+        The acceptance check for instrumented campaigns: per-(summary,
+        outcome) counts and ok/rejected totals must equal what the
+        cloud's own append-only log recorded.
+        """
+        expected: Dict[tuple, int] = {}
+        for entry in audit.entries:
+            key = (("outcome", entry.outcome), ("summary", entry.summary))
+            expected[key] = expected.get(key, 0) + 1
+        got = self.metrics.counter("cloud.audit.entries").series()
+        if {k: float(v) for k, v in expected.items()} != got:
+            return False
+        rejected = len(audit.rejected())
+        return (
+            self.metrics.counter("cloud.audit.ok").total() == len(audit) - rejected
+            and self.metrics.counter("cloud.audit.rejected").total() == rejected
+        )

@@ -1,0 +1,217 @@
+"""Hierarchical spans over the virtual clock.
+
+A :class:`Span` is one timed piece of work — a scenario, a phase inside
+it, or a single message exchange — positioned on the *simulation*
+timeline (``start``/``end`` are virtual seconds) and annotated with the
+*wall-clock* nanoseconds spent computing it (``wall_ns``), so one tree
+answers both "what happened when in the modelled world" and "where did
+the CPU go".
+
+The :class:`Tracer` keeps an explicit open-span stack; spans opened
+while another is open become its children, giving the
+scenario → phase → exchange hierarchy the run report renders.  Virtual
+timestamps are deterministic, so two runs with the same seed produce
+identical trees (the determinism test keys on :meth:`Span.signature`,
+which excludes wall-clock noise).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Span kinds, outermost to innermost.
+SPAN_KINDS = ("scenario", "phase", "exchange")
+
+
+@dataclass
+class Span:
+    """One node of the trace tree."""
+
+    name: str
+    kind: str = "phase"
+    start: float = 0.0                  # virtual seconds
+    end: Optional[float] = None         # virtual seconds; None while open
+    outcome: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    wall_ns: int = 0                    # wall-clock cost of the span body
+
+    @property
+    def duration(self) -> float:
+        """Virtual duration in seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def walk(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def signature(self) -> tuple:
+        """Deterministic shape of the subtree: names, kinds, virtual times.
+
+        Excludes ``wall_ns`` (wall-clock noise) so that two runs with the
+        same seed produce equal signatures.
+        """
+        return (
+            self.name,
+            self.kind,
+            round(self.start, 9),
+            None if self.end is None else round(self.end, 9),
+            self.outcome,
+            tuple(sorted((k, str(v)) for k, v in self.attrs.items())),
+            tuple(child.signature() for child in self.children),
+        )
+
+    def to_dict(self, include_wall: bool = True) -> Dict[str, Any]:
+        """JSON-ready rendering of the subtree."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if include_wall:
+            data["wall_ns"] = self.wall_ns
+        if self.children:
+            data["children"] = [c.to_dict(include_wall) for c in self.children]
+        return data
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._t0 = 0
+
+    def __enter__(self) -> Optional[Span]:
+        self._t0 = _time.perf_counter_ns()
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._span is None:
+            return
+        self._span.wall_ns += _time.perf_counter_ns() - self._t0
+        self._tracer._close(self._span, ok=exc_type is None)
+
+
+class Tracer:
+    """Builds the span tree; bounded so huge campaigns cannot OOM it.
+
+    ``max_spans`` caps the total number of recorded spans; once reached,
+    further spans are counted in :attr:`dropped` instead of stored (the
+    open-span stack still balances, so the tree stays well formed).
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.roots: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._count = 0
+        self._now = lambda: 0.0
+
+    def set_time_source(self, now) -> None:
+        """Install the virtual-clock reader used to timestamp spans."""
+        self._now = now
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, kind: str = "phase", **attrs: Any) -> _SpanContext:
+        """Open a span as a child of the currently open span."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return _SpanContext(self, None)
+        span = Span(name=name, kind=kind, start=self._now(), attrs=attrs)
+        self._attach(span)
+        self._stack.append(span)
+        self._count += 1
+        return _SpanContext(self, span)
+
+    def event(self, name: str, kind: str = "exchange", **attrs: Any) -> None:
+        """Record a zero-duration leaf (e.g. one message exchange)."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return
+        now = self._now()
+        span = Span(name=name, kind=kind, start=now, end=now, attrs=attrs)
+        self._attach(span)
+        self._count += 1
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def _close(self, span: Span, ok: bool) -> None:
+        span.end = self._now()
+        if not ok:
+            span.outcome = "error"
+        # Close any abandoned children first, then the span itself.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def walk(self):
+        """Yield every recorded span, depth first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def signature(self) -> tuple:
+        """Deterministic shape of the whole forest (excludes wall clock)."""
+        return tuple(root.signature() for root in self.roots)
+
+    def render(self, max_exchanges_per_span: int = 12) -> str:
+        """Indented text rendering of the span forest.
+
+        Long runs of sibling *exchange* leaves are elided past
+        ``max_exchanges_per_span`` so a 100-household campaign report
+        stays readable.
+        """
+        lines: List[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            end = f"{span.end:9.3f}" if span.end is not None else "     open"
+            wall = f" wall={span.wall_ns / 1e6:.2f}ms" if span.wall_ns else ""
+            mark = "" if span.outcome == "ok" else f" [{span.outcome}]"
+            attrs = ""
+            if span.attrs:
+                attrs = " " + ",".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            lines.append(
+                f"{pad}{span.kind:<9} {span.name:<32} "
+                f"t=[{span.start:9.3f} ..{end}]{wall}{mark}{attrs}"
+            )
+            shown = 0
+            elided = 0
+            for child in span.children:
+                if child.kind == "exchange" and not child.children:
+                    shown += 1
+                    if shown > max_exchanges_per_span:
+                        elided += 1
+                        continue
+                emit(child, depth + 1)
+            if elided:
+                lines.append(f"{'  ' * (depth + 1)}... {elided} more exchanges elided")
+
+        for root in self.roots:
+            emit(root, 0)
+        if self.dropped:
+            lines.append(f"(span cap reached: {self.dropped} spans dropped)")
+        return "\n".join(lines)

@@ -23,6 +23,7 @@ from repro.identity.device_ids import scheme_from_name
 from repro.identity.keys import generate_keypair
 from repro.net.network import Network
 from repro.net.provisioning import ProvisioningAir
+from repro.obs.observer import Observer
 from repro.sim.environment import Environment
 
 
@@ -44,9 +45,14 @@ class Party:
 class Deployment:
     """A fully wired world: cloud + victim + attacker."""
 
-    def __init__(self, design: VendorDesign, seed: int = 0) -> None:
+    def __init__(
+        self,
+        design: VendorDesign,
+        seed: int = 0,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.design = design
-        self.env = Environment(seed=seed)
+        self.env = Environment(seed=seed, observer=observer)
         self.network = Network(self.env)
         self.air = ProvisioningAir()
         self.cloud = CloudService(self.env, self.network, design)
@@ -209,6 +215,12 @@ class Deployment:
 
     def setup_party(self, party: Party) -> bool:
         """Run the full Figure 1 flow for one party's own device."""
+        with self.env.observer.span(
+            f"setup:{party.role}", kind="phase", device=party.device.device_id
+        ):
+            return self._setup_party(party)
+
+    def _setup_party(self, party: Party) -> bool:
         app, device = party.app, party.device
         if app.user_token is None:
             app.login()
@@ -290,6 +302,8 @@ class Deployment:
         return any(c.issued_by == user_id for c in party.device.executed_commands)
 
 
-def build_deployment(design: VendorDesign, seed: int = 0) -> Deployment:
+def build_deployment(
+    design: VendorDesign, seed: int = 0, observer: Optional[Observer] = None
+) -> Deployment:
     """Convenience factory mirroring the examples' usage."""
-    return Deployment(design, seed=seed)
+    return Deployment(design, seed=seed, observer=observer)

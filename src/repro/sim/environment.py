@@ -9,17 +9,31 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.clock import VirtualClock
 from repro.sim.rand import DeterministicRandom
 from repro.sim.scheduler import EventHandle, Scheduler
 
 
 class Environment:
-    """Shared simulation context."""
+    """Shared simulation context.
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    Pass an :class:`~repro.obs.runtime.Observability` as *observer* to
+    instrument every layer built on this environment; the default is the
+    shared no-op :data:`~repro.obs.observer.NULL_OBSERVER`, which keeps
+    uninstrumented runs essentially free.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.clock = VirtualClock(start_time)
-        self.scheduler = Scheduler(self.clock)
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.observer.attach(self)
+        self.scheduler = Scheduler(self.clock, observer=self.observer)
         self.rng = DeterministicRandom(seed)
 
     # -- time ------------------------------------------------------------

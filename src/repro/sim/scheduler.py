@@ -5,6 +5,17 @@ timestamp order, ties broken by insertion order, so every run of a
 scenario is bit-for-bit reproducible.  Periodic events (device
 heartbeats, the cloud's liveness sweep) are built from one-shot events
 that re-schedule themselves.
+
+Cancelled entries are lazily discarded when popped, but a long campaign
+that cancels far more than it fires (e.g. a DoS sweep re-arming timers)
+would otherwise grow the heap without bound — so whenever cancelled
+entries exceed half the queue the heap is *compacted* in place.
+Compaction never changes execution order: entries are totally ordered
+by ``(time, seq)``, so re-heapifying the survivors pops identically.
+
+The scheduler reports batch sizes, queue depth and compactions to an
+:class:`~repro.obs.observer.Observer`; the default
+:data:`~repro.obs.observer.NULL_OBSERVER` makes those calls no-ops.
 """
 
 from __future__ import annotations
@@ -15,9 +26,13 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.errors import SimulationError
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.sim.clock import VirtualClock
 
 Callback = Callable[[], None]
+
+#: Queues smaller than this are never compacted (not worth the sweep).
+COMPACT_MIN_QUEUE = 64
 
 
 @dataclass(order=True)
@@ -26,17 +41,24 @@ class _Entry:
     seq: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    in_heap: bool = field(default=True, compare=False)
 
 
 class EventHandle:
     """Handle to a scheduled event; allows cancellation."""
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, scheduler: Optional["Scheduler"] = None) -> None:
         self._entry = entry
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if self._scheduler is not None and entry.in_heap:
+            self._scheduler._note_cancel()
 
     @property
     def time(self) -> float:
@@ -50,13 +72,21 @@ class EventHandle:
 class Scheduler:
     """Priority-queue event loop over a :class:`VirtualClock`."""
 
-    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: List[_Entry] = []
         self._counter = itertools.count()
+        self._cancelled = 0
+        #: how many times the heap has been compacted (exposed as a gauge)
+        self.compactions = 0
+        self._observer = observer if observer is not None else NULL_OBSERVER
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        return len(self._queue) - self._cancelled
 
     def at(self, time: float, callback: Callback) -> EventHandle:
         """Schedule *callback* at absolute simulation *time*."""
@@ -66,7 +96,7 @@ class Scheduler:
             )
         entry = _Entry(time, next(self._counter), callback)
         heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def after(self, delay: float, callback: Callback) -> EventHandle:
         """Schedule *callback* after *delay* virtual seconds."""
@@ -96,11 +126,39 @@ class Scheduler:
         state["handle"] = handle
         return handle
 
+    # -- cancelled-entry bookkeeping ------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Count one cancellation; compact when the heap is mostly dead."""
+        self._cancelled += 1
+        if (
+            len(self._queue) >= COMPACT_MIN_QUEUE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        live = [entry for entry in self._queue if not entry.cancelled]
+        removed = len(self._queue) - len(live)
+        for entry in self._queue:
+            if entry.cancelled:
+                entry.in_heap = False
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled = 0
+        self.compactions += 1
+        self._observer.on_compaction(removed, self.compactions)
+
+    # -- execution -------------------------------------------------------------
+
     def step(self) -> bool:
         """Run the single earliest pending event; return False if none."""
         while self._queue:
             entry = heapq.heappop(self._queue)
+            entry.in_heap = False
             if entry.cancelled:
+                self._cancelled -= 1
                 continue
             self.clock.advance_to(entry.time)
             entry.callback()
@@ -113,16 +171,20 @@ class Scheduler:
         The clock ends exactly at *time* even if the queue drains early.
         """
         executed = 0
-        while self._queue and executed < max_events:
-            entry = self._queue[0]
-            if entry.time > time:
-                break
-            heapq.heappop(self._queue)
-            if entry.cancelled:
-                continue
-            self.clock.advance_to(entry.time)
-            entry.callback()
-            executed += 1
+        with self._observer.profile("scheduler.run"):
+            while self._queue and executed < max_events:
+                entry = self._queue[0]
+                if entry.time > time:
+                    break
+                heapq.heappop(self._queue)
+                entry.in_heap = False
+                if entry.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self.clock.advance_to(entry.time)
+                entry.callback()
+                executed += 1
+        self._observer.on_scheduler_flush(executed, len(self))
         if executed >= max_events:
             raise SimulationError("event budget exhausted; livelock suspected")
         if time > self.clock.now:

@@ -54,3 +54,22 @@ def test_every_public_item_documented():
     for path in sorted(SRC.rglob("*.py")):
         missing.extend(_missing_docstrings(path))
     assert not missing, "undocumented public items:\n" + "\n".join(missing)
+
+
+def test_obs_package_fully_documented():
+    """The observability package is covered and cannot silently shrink.
+
+    The blanket walk above would pass if ``repro/obs`` were deleted;
+    this pins the package's presence, its expected modules, and their
+    docstring coverage explicitly.
+    """
+    obs_dir = SRC / "obs"
+    assert obs_dir.is_dir(), "src/repro/obs/ is missing"
+    modules = {path.name for path in obs_dir.glob("*.py")}
+    for expected in ("__init__.py", "observer.py", "tracer.py", "metrics.py",
+                     "profiler.py", "runtime.py", "export.py"):
+        assert expected in modules, f"repro/obs/{expected} is missing"
+    missing = []
+    for path in sorted(obs_dir.glob("*.py")):
+        missing.extend(_missing_docstrings(path))
+    assert not missing, "undocumented obs items:\n" + "\n".join(missing)

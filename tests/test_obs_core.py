@@ -1,0 +1,176 @@
+"""Unit tests for the observability primitives (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import NULL_CONTEXT, NULL_OBSERVER, Observer, iter_hooks
+from repro.obs.profiler import Profiler
+from repro.obs.runtime import Observability
+from repro.obs.tracer import Tracer
+from repro.obs.export import render_report, snapshot, to_json
+
+
+class TestTracer:
+    def make(self):
+        tracer = Tracer()
+        state = {"t": 0.0}
+        tracer.set_time_source(lambda: state["t"])
+        return tracer, state
+
+    def test_nesting_builds_hierarchy(self):
+        tracer, state = self.make()
+        with tracer.span("scenario", kind="scenario"):
+            state["t"] = 1.0
+            with tracer.span("phase-a"):
+                tracer.event("msg-1")
+                state["t"] = 2.0
+            with tracer.span("phase-b"):
+                state["t"] = 3.5
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["phase-a", "phase-b"]
+        assert root.children[0].children[0].name == "msg-1"
+        assert root.start == 0.0 and root.end == 3.5
+        assert root.children[0].duration == pytest.approx(1.0)
+
+    def test_exception_marks_span_error(self):
+        tracer, _ = self.make()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.roots[0].outcome == "error"
+        # the stack unwound: a new span is a root, not a child of "boom"
+        with tracer.span("next"):
+            pass
+        assert [r.name for r in tracer.roots] == ["boom", "next"]
+
+    def test_span_cap_drops_not_crashes(self):
+        tracer, _ = self.make()
+        tracer.max_spans = 3
+        for i in range(5):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert "dropped" in tracer.render()
+
+    def test_signature_excludes_wall_clock(self):
+        tracer, _ = self.make()
+        with tracer.span("a"):
+            pass
+        sig = tracer.signature()
+        tracer.roots[0].wall_ns += 123456
+        assert tracer.signature() == sig
+
+    def test_render_elides_long_exchange_runs(self):
+        tracer, _ = self.make()
+        with tracer.span("phase"):
+            for i in range(20):
+                tracer.event(f"msg{i}")
+        text = tracer.render(max_exchanges_per_span=5)
+        assert "15 more exchanges elided" in text
+
+    def test_walk_visits_every_span(self):
+        tracer, _ = self.make()
+        with tracer.span("a"):
+            tracer.event("b")
+        with tracer.span("c"):
+            pass
+        assert sorted(s.name for s in tracer.walk()) == ["a", "b", "c"]
+
+
+class TestMetrics:
+    def test_counter_labels_are_order_independent(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2
+        assert counter.total() == 2
+
+    def test_gauge_tracks_peak(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.peak == 5
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram("h", buckets=(10, 100))
+        for value in (1, 50, 500):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 551
+        assert hist.min == 1 and hist.max == 500
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"le_10": 1, "le_100": 1, "inf": 1}
+
+    def test_registry_reuses_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        registry.counter("x").inc()
+        assert registry.snapshot()["counters"]["x"][0]["value"] == 1
+        assert "counter" in registry.render()
+
+
+class TestProfiler:
+    def test_sections_accumulate(self):
+        profiler = Profiler()
+        with profiler.section("hot"):
+            pass
+        with profiler.section("hot"):
+            pass
+        assert profiler.calls["hot"] == 2
+        assert profiler.total_ns["hot"] >= 0
+        assert "hot" in profiler.render()
+        assert profiler.snapshot()["hot"]["calls"] == 2
+
+
+class TestObserverProtocol:
+    def test_null_observer_hooks_are_noops(self):
+        for name in iter_hooks():
+            hook = getattr(NULL_OBSERVER, name)
+            assert callable(hook)
+        assert NULL_OBSERVER.span("x").__enter__() is None
+        assert NULL_OBSERVER.profile("x") is NULL_CONTEXT
+
+    def test_observability_implements_every_hook(self):
+        obs = Observability()
+        for name in iter_hooks():
+            assert callable(getattr(obs, name)), name
+        assert isinstance(obs, Observer)
+
+
+class TestExport:
+    def build(self):
+        obs = Observability()
+        obs.tracer.set_time_source(lambda: 1.5)
+        with obs.span("scenario", kind="scenario"):
+            obs.event("msg")
+        obs.count("c", 2, k="v")
+        obs.gauge("g", 7)
+        obs.observe("h", 3)
+        with obs.profile("section"):
+            pass
+        return obs
+
+    def test_snapshot_roundtrips_through_json(self):
+        obs = self.build()
+        data = json.loads(to_json(obs))
+        assert data["version"] == 1
+        assert data["spans"][0]["name"] == "scenario"
+        assert data["spans"][0]["children"][0]["name"] == "msg"
+        assert data["metrics"]["counters"]["c"][0]["value"] == 2
+        assert data["profile"]["section"]["calls"] == 1
+
+    def test_snapshot_without_wall_is_deterministic_fields_only(self):
+        obs = self.build()
+        data = snapshot(obs, include_wall=False)
+        assert "profile" not in data
+        assert "wall_ns" not in json.dumps(data)
+
+    def test_render_report_contains_all_sections(self):
+        text = render_report(self.build())
+        assert "== span tree (virtual time) ==" in text
+        assert "== metrics ==" in text
+        assert "== wall-clock profile ==" in text

@@ -1,0 +1,249 @@
+"""Observer wiring across the stack: determinism, accuracy, overhead.
+
+The three guarantees the observability layer makes (ISSUE 1):
+
+* *deterministic traces* — same seed, same world ⇒ identical span tree;
+* *metric accuracy* — message counters equal the cloud audit log exactly,
+  attack counters equal the reports;
+* *near-zero no-op cost* — uninstrumented runs carry the shared null
+  observer and allocate no observability state.
+"""
+
+import time
+
+import pytest
+
+from repro.attacks.campaign import campaign_binding_dos, campaign_mass_unbind
+from repro.attacks.runner import run_all_attacks
+from repro.fleet import FleetDeployment
+from repro.obs import Observability, snapshot
+from repro.obs.observer import NULL_OBSERVER
+from repro.scenario import Deployment
+from repro.sim.environment import Environment
+from repro.sim.scheduler import COMPACT_MIN_QUEUE, Scheduler
+from repro.vendors import vendor
+
+
+def run_traced_campaign(seed: int) -> Observability:
+    obs = Observability()
+    fleet = FleetDeployment(vendor("OZWI"), households=6, seed=seed, observer=obs)
+    campaign_binding_dos(fleet, max_probes=32)
+    fleet.run(10.0)
+    obs.last_audit = fleet.cloud.audit  # stashed for the accuracy checks
+    return obs
+
+
+class TestDeterministicTraces:
+    def test_same_seed_identical_span_tree(self):
+        a, b = run_traced_campaign(3), run_traced_campaign(3)
+        assert a.tracer.signature() == b.tracer.signature()
+        assert snapshot(a, include_wall=False) == snapshot(b, include_wall=False)
+
+    def test_different_seed_same_shape_different_ids(self):
+        # Seeds change device IDs (attrs) but not the campaign structure.
+        a, b = run_traced_campaign(3), run_traced_campaign(4)
+        names_a = [s.name for s in a.tracer.walk()]
+        names_b = [s.name for s in b.tracer.walk()]
+        assert names_a == names_b
+
+
+class TestMetricsAccuracy:
+    def test_campaign_counters_match_audit_log(self):
+        obs = run_traced_campaign(5)
+        audit = obs.last_audit
+        assert obs.matches_audit(audit)
+        entries = obs.metrics.counter("cloud.audit.entries")
+        assert entries.total() == len(audit)
+        assert obs.metrics.counter("cloud.audit.rejected").total() == len(
+            audit.rejected()
+        )
+
+    def test_exchange_spans_match_audit_log(self):
+        obs = run_traced_campaign(5)
+        exchanges = [
+            s for s in obs.tracer.walk() if s.kind == "exchange" and not s.children
+        ]
+        assert len(exchanges) == len(obs.last_audit)
+
+    def test_scripted_deployment_counts(self):
+        obs = Observability()
+        world = Deployment(vendor("D-LINK"), seed=7, observer=obs)
+        assert world.victim_full_setup()
+        audit = world.cloud.audit
+        assert obs.matches_audit(audit)
+        # the Figure 2 transitions the flow must have taken
+        transitions = obs.metrics.counter("shadow.transitions")
+        assert transitions.value(event="status-received", edge="initial->online") == 1
+        assert transitions.value(event="bind-created", edge="online->control") == 1
+        # heartbeats executed through the scheduler were counted
+        assert obs.metrics.counter("scheduler.events").total() > 0
+        assert obs.metrics.gauge("scheduler.queue_depth").peak > 0
+
+    def test_attack_battery_counters_match_reports(self):
+        obs = Observability()
+        reports = run_all_attacks(vendor("D-LINK"), seed=1, observer=obs)
+        attempts = obs.metrics.counter("attacks.attempts")
+        assert attempts.total() == len(reports)
+        successes = sum(1 for r in reports.values() if r.succeeded)
+        assert obs.metrics.counter("attacks.successes").total() == successes
+        for report in reports.values():
+            assert (
+                attempts.value(
+                    attack_id=report.attack_id, outcome=report.outcome.value
+                )
+                >= 1
+            )
+
+    def test_mass_unbind_campaign_counters(self):
+        from repro.cloud.policy import DeviceAuthMode, VendorDesign
+
+        design = VendorDesign(
+            name="Orvibo-like", device_type="smart-plug",
+            device_auth=DeviceAuthMode.DEV_TOKEN,
+            unbind_checks_bound_user=False,
+            id_scheme="serial-number", id_serial_digits=6,
+        )
+        obs = Observability()
+        fleet = FleetDeployment(design, households=4, seed=5, observer=obs)
+        assert fleet.setup_all() == 4
+        fleet.run(12.0)
+        report = campaign_mass_unbind(fleet, max_probes=32)
+        assert obs.metrics.counter("campaign.probes").value(
+            campaign="mass-unbind"
+        ) == report.ids_probed
+        assert obs.metrics.counter("campaign.denied").value(
+            campaign="mass-unbind"
+        ) == report.victims_denied
+        assert obs.matches_audit(fleet.cloud.audit)
+
+
+class TestNoOpPath:
+    def test_default_environment_carries_shared_null_observer(self):
+        env = Environment(seed=1)
+        assert env.observer is NULL_OBSERVER
+        assert Environment(seed=2).observer is NULL_OBSERVER
+
+    def test_uninstrumented_cloud_has_no_observability_state(self):
+        world = Deployment(vendor("D-LINK"), seed=7)
+        assert world.victim_full_setup()
+        # shadows took transitions without any per-shadow hook installed
+        shadow = world.cloud.shadows.get(world.victim.device.device_id)
+        assert shadow.on_transition is None
+
+    def test_noop_overhead_smoke(self):
+        """The null path must not be slower than full instrumentation."""
+
+        def run(observer):
+            fleet = FleetDeployment(
+                vendor("OZWI"), households=8, seed=2, observer=observer
+            )
+            fleet.setup_all()
+            fleet.run(10.0)
+
+        run(None)  # warm caches
+        t0 = time.perf_counter()
+        run(None)
+        null_seconds = time.perf_counter() - t0
+        obs = Observability()
+        t0 = time.perf_counter()
+        run(obs)
+        instrumented_seconds = time.perf_counter() - t0
+        assert len(obs.tracer) > 0
+        # generous bound: absolute slack absorbs CI timer noise
+        assert null_seconds < instrumented_seconds * 3 + 0.25
+
+
+class TestSchedulerCompaction:
+    def test_cancel_majority_compacts_heap(self):
+        scheduler = Scheduler()
+        handles = [scheduler.at(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert scheduler.compactions >= 1
+        # dead entries can never exceed half the heap after compaction
+        assert len(scheduler._queue) <= 2 * 50
+        assert len(scheduler) == 50
+
+    def test_small_queues_never_compact(self):
+        scheduler = Scheduler()
+        handles = [
+            scheduler.at(float(i + 1), lambda: None)
+            for i in range(COMPACT_MIN_QUEUE - 2)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert scheduler.compactions == 0
+
+    def test_compaction_preserves_firing_order(self):
+        compacted = Scheduler()
+        plain_times = [float(i + 1) for i in range(100)]
+        fired = []
+        handles = [
+            compacted.at(t, (lambda t=t: fired.append(t))) for t in plain_times
+        ]
+        for handle in handles[::2] + handles[1::4]:
+            handle.cancel()
+        survivors = sorted(
+            h.time for h in handles if not h.cancelled
+        )
+        assert compacted.compactions >= 1
+        compacted.run_until(1000.0)
+        assert fired == survivors
+
+    def test_double_cancel_counts_once(self):
+        scheduler = Scheduler()
+        handles = [scheduler.at(float(i + 1), lambda: None) for i in range(100)]
+        for _ in range(3):
+            for handle in handles[:40]:
+                handle.cancel()
+        assert len(scheduler) == 60
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        scheduler = Scheduler()
+        handle = scheduler.at(1.0, lambda: None)
+        for i in range(70):
+            scheduler.at(float(i + 2), lambda: None)
+        scheduler.run_until(1.0)
+        handle.cancel()          # already fired: must not count as pending-dead
+        assert len(scheduler) == 70
+        assert scheduler.compactions == 0
+
+    def test_compaction_reports_to_observer(self):
+        obs = Observability()
+        env = Environment(seed=0, observer=obs)
+        handles = [env.scheduler.at(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert obs.metrics.gauge("scheduler.compactions").value >= 1
+        # every compaction sweep reported how many dead entries it dropped
+        assert obs.metrics.counter("scheduler.compacted_entries").total() >= 100
+
+
+class TestObsCli:
+    def test_obs_subcommand_reports_consistency(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "--households", "3", "--probes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "== span tree (virtual time) ==" in out
+        assert "campaign:binding-dos" in out
+        assert "metrics vs audit log: consistent" in out
+
+    def test_obs_subcommand_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["obs", "--households", "2", "--probes", "4",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+        assert data["metrics"]["counters"]["campaign.probes"][0]["value"] == 4
+
+    def test_obs_subcommand_attack_battery(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "--mode", "attacks", "--vendor", "D-LINK"]) == 0
+        out = capsys.readouterr().out
+        assert "attack:A1" in out
+        assert "attacks.attempts" in out

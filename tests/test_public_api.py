@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.hub",
     "repro.identity",
     "repro.net",
+    "repro.obs",
     "repro.secure",
     "repro.sim",
     "repro.vendors",
