@@ -71,7 +71,11 @@ def test_traced_campaign_emits_obs_snapshot(benchmark):
     audit_counter = obs.metrics.counter("cloud.audit.entries")
     assert audit_counter.total() == len(fleet.cloud.audit)
     OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_obs.json").write_text(to_json(obs), encoding="utf-8")
+    # cap the span list so the artifact stays reviewable (~13.9k lines
+    # uncapped); dropped spans are counted in export_spans_dropped
+    (OUTPUT_DIR / "BENCH_obs.json").write_text(
+        to_json(obs, max_spans=250), encoding="utf-8"
+    )
     emit(
         "fleet_campaign_obs",
         f"traced 100-household campaign: {len(obs.tracer)} spans, "

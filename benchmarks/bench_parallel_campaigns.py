@@ -1,0 +1,177 @@
+"""Sharded campaign engine: serial vs parallel at product-series scale.
+
+Runs the Section V-C binding-DoS sweep against a 400-household OZWI
+fleet — 24k probes into the sequential serial-number space — first
+serially, then sharded across 1/2/4/8 workers, and emits
+``benchmarks/output/BENCH_parallel.json`` with:
+
+* the measured wall-clock for every configuration,
+* a *projected* multi-core speedup derived from solo per-shard wall
+  times (shards share nothing, so a shard's solo time models a
+  dedicated core; on a single-core CI host the measured multi-process
+  numbers only show scheduler interleaving, not the engine),
+* the merged-metrics-equals-sum-of-shard-audits consistency check, and
+* template cloning (``build="clone"``) vs full Figure 1 replay timing
+  for fleet construction at 200 households.
+"""
+
+import json
+import os
+import time
+
+from repro.attacks.campaign import campaign_binding_dos
+from repro.fleet import FleetDeployment
+from repro.obs.runtime import Observability
+from repro.parallel import run_campaign
+from repro.vendors import vendor
+
+from conftest import OUTPUT_DIR, emit
+
+VENDOR = "OZWI"
+HOUSEHOLDS = 400
+PROBES = 24000
+SEED = 11
+WORKER_CURVE = (1, 2, 4, 8)
+
+
+def _serial_baseline():
+    """One serial 400-household binding-DoS sweep, timed."""
+    started = time.perf_counter()
+    obs = Observability(trace_messages=False)
+    fleet = FleetDeployment(
+        vendor(VENDOR), households=HOUSEHOLDS, seed=SEED, observer=obs
+    )
+    report = campaign_binding_dos(fleet, max_probes=PROBES)
+    wall = time.perf_counter() - started
+    return report, wall, len(fleet.cloud.audit)
+
+
+def test_serial_vs_sharded_speedup_curve(benchmark):
+    """The headline artifact: speedup curve + consistency → BENCH_parallel.json."""
+    report, serial_wall, serial_audit = benchmark.pedantic(
+        _serial_baseline, rounds=1, iterations=1
+    )
+    assert report.victims_denied == HOUSEHOLDS
+
+    curve = []
+    for workers in WORKER_CURVE:
+        # measured: real worker processes (honest number for this host)
+        started = time.perf_counter()
+        measured = run_campaign(
+            vendor(VENDOR), campaign="binding-dos", households=HOUSEHOLDS,
+            max_probes=PROBES, workers=workers, seed=SEED,
+            trace_messages=False, snapshot_max_spans=200,
+        )
+        measured_wall = time.perf_counter() - started
+        # projected: the same shards run solo (sequentially in-process),
+        # critical path = slowest shard + merge — what >=N cores would see
+        solo = run_campaign(
+            vendor(VENDOR), campaign="binding-dos", households=HOUSEHOLDS,
+            max_probes=PROBES, workers=1, shards=workers, seed=SEED,
+            trace_messages=False, snapshot_max_spans=200,
+        )
+        shard_walls = [r.wall_seconds for r in solo.shard_results]
+        merge_wall = max(0.0, solo.wall_seconds - sum(shard_walls))
+        critical_path = max(shard_walls) + merge_wall
+        assert measured.consistent and solo.consistent
+        assert measured.report.households == report.households
+        assert measured.report.ids_probed == report.ids_probed
+        assert measured.report.ids_hit == report.ids_hit
+        assert measured.report.victims_denied == report.victims_denied
+        curve.append({
+            "workers": workers,
+            "measured_wall_seconds": round(measured_wall, 4),
+            "measured_speedup": round(serial_wall / measured_wall, 2),
+            "shard_wall_seconds": [round(w, 4) for w in shard_walls],
+            "critical_path_seconds": round(critical_path, 4),
+            "projected_speedup": round(serial_wall / critical_path, 2),
+            "audit_entries": measured.audit_entries_total,
+            "consistent": measured.consistent,
+        })
+
+    four = next(row for row in curve if row["workers"] == 4)
+    cpu_count = os.cpu_count() or 1
+    basis = "measured" if cpu_count >= 4 else "projected"
+    speedup_at_4 = four[f"{basis}_speedup"]
+    assert four["projected_speedup"] >= 2.0
+
+    payload = {
+        "config": {
+            "vendor": VENDOR, "households": HOUSEHOLDS, "probes": PROBES,
+            "seed": SEED, "cpu_count": cpu_count,
+        },
+        "serial": {
+            "wall_seconds": round(serial_wall, 4),
+            "ids_probed": report.ids_probed,
+            "ids_hit": report.ids_hit,
+            "victims_denied": report.victims_denied,
+            "audit_entries": serial_audit,
+        },
+        "speedup_curve": curve,
+        "speedup_at_4_workers": {"speedup": speedup_at_4, "basis": basis},
+        "consistency": {
+            "merged_metrics_equal_sum_of_shard_audits":
+                all(row["consistent"] for row in curve),
+        },
+        "clone_vs_replay": _clone_vs_replay(),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    emit(
+        "parallel_campaigns",
+        f"serial {serial_wall:.2f}s vs 4-worker critical path "
+        f"{four['critical_path_seconds']:.2f}s "
+        f"({four['projected_speedup']:.1f}x projected, "
+        f"{four['measured_speedup']:.1f}x measured on {cpu_count} core(s)); "
+        f"all shard merges consistent; BENCH_parallel.json written",
+    )
+    assert payload["consistency"]["merged_metrics_equal_sum_of_shard_audits"]
+
+
+def _clone_vs_replay(households: int = 200):
+    """Template cloning vs full Figure 1 replay for fleet construction."""
+    def build(mode):
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            fleet = FleetDeployment(
+                vendor(VENDOR), households=households, seed=SEED, build=mode
+            )
+            fleet.setup_all()
+            best = min(best, time.perf_counter() - started)
+            bound = fleet.bound_users()
+            assert len(bound) == households
+        return best
+
+    replay_wall = build("replay")
+    clone_wall = build("clone")
+    return {
+        "households": households,
+        "replay_seconds": round(replay_wall, 4),
+        "clone_seconds": round(clone_wall, 4),
+        "ratio": round(replay_wall / clone_wall, 2),
+        "clone_cheaper": clone_wall < replay_wall,
+    }
+
+
+def test_clone_fleet_matches_replay_fleet(benchmark):
+    """Clone-built fleets are cheaper and end in the same bound state."""
+    def build_both():
+        replay = FleetDeployment(vendor(VENDOR), households=100, seed=SEED)
+        replay.setup_all()
+        clone = FleetDeployment(
+            vendor(VENDOR), households=100, seed=SEED, build="clone"
+        )
+        return replay, clone
+
+    replay, clone = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    assert replay.bound_users() == clone.bound_users()
+    stats = _clone_vs_replay(households=100)
+    assert stats["clone_cheaper"]
+    emit(
+        "parallel_clone_fleet",
+        f"100-household fleet construction: replay {stats['replay_seconds']}s "
+        f"vs clone {stats['clone_seconds']}s ({stats['ratio']}x)",
+    )

@@ -13,11 +13,12 @@ scenarios:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
-from repro.core.errors import RequestRejected
+from repro.core.errors import ConfigurationError, RequestRejected
 from repro.core.messages import BindMessage, UnbindMessage
 from repro.fleet import FleetDeployment
 
@@ -38,6 +39,46 @@ class CampaignReport:
     @property
     def denial_rate(self) -> float:
         return self.victims_denied / self.households if self.households else 0.0
+
+    @classmethod
+    def merge(cls, reports: Sequence["CampaignReport"]) -> "CampaignReport":
+        """Fold per-shard reports into one fleet-wide report.
+
+        Counts sum (a sharded run partitions both the households and the
+        probe budget, so the sums equal what one serial run over the
+        whole fleet would have produced — see ``docs/parallelism.md``).
+        Detail lines keep their shard of origin as a ``[shard i]``
+        prefix.  Merging a single report returns it unchanged (no
+        provenance prefix), so a one-shard run stays bit-identical to
+        the serial path.
+        """
+        if not reports:
+            raise ConfigurationError("cannot merge zero campaign reports")
+        first = reports[0]
+        if len(reports) == 1:
+            return dataclasses.replace(first, details=list(first.details))
+        for other in reports[1:]:
+            if (other.campaign, other.vendor) != (first.campaign, first.vendor):
+                raise ConfigurationError(
+                    "cannot merge reports from different campaigns or vendors: "
+                    f"{(first.campaign, first.vendor)} vs "
+                    f"{(other.campaign, other.vendor)}"
+                )
+        details = [
+            f"[shard {shard}] {line}"
+            for shard, report in enumerate(reports)
+            for line in report.details
+        ]
+        return cls(
+            campaign=first.campaign,
+            vendor=first.vendor,
+            households=sum(r.households for r in reports),
+            ids_probed=sum(r.ids_probed for r in reports),
+            ids_hit=sum(r.ids_hit for r in reports),
+            victims_denied=sum(r.victims_denied for r in reports),
+            modelled_seconds=sum(r.modelled_seconds for r in reports),
+            details=details,
+        )
 
     def render(self) -> str:
         """Multi-line damage summary."""

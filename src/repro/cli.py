@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep               # design-space sweep
     python -m repro secure              # attack the recommended designs
     python -m repro obs                 # traced fleet campaign run report
+    python -m repro campaign --workers 4 --households 400
 """
 
 from __future__ import annotations
@@ -189,6 +190,27 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.parallel import run_campaign
+    from repro.vendors import vendor
+
+    result = run_campaign(
+        vendor(args.vendor),
+        campaign=args.mode,
+        households=args.households,
+        max_probes=args.probes,
+        workers=args.workers,
+        seed=args.seed,
+        build=args.build,
+        snapshot_max_spans=args.max_spans,
+    )
+    if args.format == "json":
+        return json.dumps(result.snapshot, indent=2, sort_keys=True)
+    return result.render()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (one subcommand per artifact)."""
     parser = argparse.ArgumentParser(
@@ -250,6 +272,26 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--no-messages", action="store_true",
                      help="skip per-request exchange spans (aggregates only)")
     obs.set_defaults(run=_cmd_obs)
+
+    campaign = sub.add_parser(
+        "campaign", help="sharded parallel fleet campaign across worker processes"
+    )
+    campaign.add_argument("--vendor", default="OZWI")
+    campaign.add_argument("--mode", choices=["binding-dos", "mass-unbind"],
+                          default="binding-dos")
+    campaign.add_argument("--households", type=int, default=100)
+    campaign.add_argument("--probes", type=int, default=256,
+                          help="fleet-wide ID-space probe budget")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = in-process serial path)")
+    campaign.add_argument("--build", choices=["replay", "clone"], default="replay",
+                          help="household construction: replay Figure 1 per "
+                               "household, or clone one bound template "
+                               "(mass-unbind only)")
+    campaign.add_argument("--max-spans", type=int, default=None,
+                          help="cap exported spans in JSON output")
+    campaign.add_argument("--format", choices=["text", "json"], default="text")
+    campaign.set_defaults(run=_cmd_campaign)
 
     sub.add_parser("sweep", help="closed-form design-space sweep").set_defaults(run=_cmd_sweep)
     sub.add_parser("secure", help="attack the recommended designs").set_defaults(run=_cmd_secure)

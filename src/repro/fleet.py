@@ -6,25 +6,47 @@ A :class:`FleetDeployment` builds that world: N independent victim
 households (own LAN, phone, account, device) against one cloud, plus
 the usual remote attacker.  The campaign tooling in
 ``repro.attacks.campaign`` then measures product-line-wide damage.
+
+Two build modes exist (``docs/parallelism.md`` discusses the trade-off):
+
+* ``build="replay"`` (default) — every household is factory fresh and
+  must run the full Figure 1 flow through :meth:`setup_all`, exactly as
+  the paper's experiments did;
+* ``build="clone"`` — one *template* household runs Figure 1 once
+  (login + provision + bind), and the remaining households are cloned
+  from its resulting state snapshot: per-household identities and
+  tokens are still unique and cloud-registered, but the per-household
+  message flow is skipped.  The fleet comes up already bound, which is
+  what pre-deployed campaigns (mass unbind) and capacity benchmarks
+  need at 100+ households.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.app.mobile import MobileApp
+from repro.app.mobile import KnownDevice, MobileApp
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
 from repro.cloud.service import CloudService
 from repro.core.errors import ConfigurationError, RequestRejected
 from repro.device import DEVICE_CLASSES
 from repro.device.base import DeviceFirmware
 from repro.identity.device_ids import scheme_from_name
-from repro.identity.keys import generate_keypair
+from repro.identity.keys import cached_keypair
+from repro.identity.tokens import TokenKind
+from repro.net.address import FleetIpAllocator
 from repro.net.network import Network
-from repro.net.provisioning import ProvisioningAir
+from repro.net.provisioning import ProvisioningAir, WifiCredentials
 from repro.obs.observer import Observer
 from repro.sim.environment import Environment
+
+#: Addresses a fleet's router IP allocator must never hand out.
+RESERVED_FLEET_IPS = ("198.51.100.99", "52.0.0.1")  # attacker host, cloud
+
+#: Valid values for :class:`FleetDeployment`'s *build* parameter.
+BUILD_MODES = ("replay", "clone")
 
 
 @dataclass
@@ -51,10 +73,17 @@ class FleetDeployment:
         households: int = 5,
         seed: int = 0,
         observer: Optional[Observer] = None,
+        build: str = "replay",
     ) -> None:
         if households < 1:
             raise ConfigurationError("a fleet needs at least one household")
+        if build not in BUILD_MODES:
+            raise ConfigurationError(f"unknown fleet build mode {build!r}")
         self.design = design
+        self.build = build
+        #: True once every household is bound at construction time
+        #: (clone mode); replay fleets flip this in :meth:`setup_all`.
+        self.prebound = False
         self.env = Environment(seed=seed, observer=observer)
         self.network = Network(self.env)
         self.air = ProvisioningAir()
@@ -62,12 +91,17 @@ class FleetDeployment:
         self.id_scheme = scheme_from_name(
             design.id_scheme, oui=design.id_oui, digits=design.id_serial_digits
         )
+        self._ips = FleetIpAllocator(reserved=RESERVED_FLEET_IPS)
         with self.env.observer.span(
-            "fleet:build", kind="phase", vendor=design.name, households=households
+            "fleet:build", kind="phase", vendor=design.name,
+            households=households, build=build,
         ):
-            self.households: List[Household] = [
-                self._build_household(index) for index in range(households)
-            ]
+            if build == "clone":
+                self.households = self._build_cloned(households)
+            else:
+                self.households: List[Household] = [
+                    self._build_household(index) for index in range(households)
+                ]
         # The attacker: an account and an internet-facing host, no LAN
         # access to anyone.
         self.attacker_user = "mallory@example.com"
@@ -88,14 +122,14 @@ class FleetDeployment:
         location = f"home:{index}"
         self.network.create_lan(
             lan_id, ssid, passphrase,
-            public_ip=f"203.0.{113 + index // 200}.{10 + index % 200}",
+            public_ip=self._ips.allocate(),
             subnet_prefix="192.168.1",
         )
         self.cloud.accounts.register(user_id, password)
         device_id = self.id_scheme.issue(self.env.rng)
         keypair = None
         if design.device_auth is DeviceAuthMode.PUBKEY:
-            keypair = generate_keypair(self.env.rng.fork(f"keys-{device_id}"), device_id)
+            keypair = cached_keypair(self.env.rng.fork(f"keys-{device_id}"), device_id)
             self.cloud.manufacture_device(device_id, design.device_type, keypair.public)
         else:
             self.cloud.manufacture_device(device_id, design.device_type)
@@ -112,6 +146,96 @@ class FleetDeployment:
         app.join_wifi(lan_id, passphrase)
         return Household(index, user_id, password, app, device,
                          lan_id, ssid, passphrase, location)
+
+    # -- template cloning (the fleet-construction fast path) -------------
+
+    def _build_cloned(self, households: int) -> List[Household]:
+        """Build one bound template household, then clone its state N-1 times."""
+        template = self._build_household(0)
+        if not self.setup_household(template):
+            raise ConfigurationError(
+                f"template household setup failed on {self.design.name}; "
+                "a clone-built fleet needs a bindable design"
+            )
+        built = [template]
+        with self.env.observer.span(
+            "fleet:clone", kind="phase", clones=households - 1
+        ):
+            for index in range(1, households):
+                built.append(self._clone_household(index, template))
+        self.prebound = True
+        return built
+
+    def _clone_household(self, index: int, template: Household) -> Household:
+        """One already-bound household, built without the Figure 1 flow."""
+        household = self._build_household(index)
+        self._install_bound_state(household, template)
+        return household
+
+    def _install_bound_state(self, household: Household, template: Household) -> None:
+        """Snapshot-install the post-Figure-1 state the template reached.
+
+        Everything the message flow would have produced is written
+        directly into the app, the device firmware and the cloud stores:
+        a live session token, Wi-Fi membership, device authentication
+        material (fresh per clone — tokens are never shared between
+        households), the binding with its post-binding token, and the
+        shadow transitions (1) then (4) into ``control``.
+        """
+        design, cloud, env = self.design, self.cloud, self.env
+        app, device = household.app, household.device
+        device_id = device.device_id
+        now = env.now
+        t_device = template.device
+        t_binding = cloud.bindings.get(t_device.device_id)
+        # App side: a live session without the login round trip.
+        app.user_token = cloud.accounts.login(
+            household.user_id, household.password, now
+        )
+        # Device side: provisioned, associated, connected.
+        device.powered = True
+        device.wifi = WifiCredentials(household.ssid, household.wifi_passphrase)
+        self.network.join_lan(
+            device.node_name, household.lan_id, household.wifi_passphrase
+        )
+        device._lan_id = household.lan_id
+        device.connected = t_device.connected
+        device.state = copy.deepcopy(t_device.state)
+        device.schedule = dict(t_device.schedule)
+        if design.device_auth is DeviceAuthMode.DEV_TOKEN:
+            device.dev_token = cloud.registry.issue_dev_token(
+                device_id, household.user_id, now
+            )
+        # Cloud side: shadow transitions (1) and (4), registration mark,
+        # then the binding itself.
+        shadow = cloud.shadows.get(device_id)
+        shadow.mark_status(now, connection_id=device.node_name)
+        shadow.reported_model = device.model
+        shadow.reported_firmware = device.firmware_version
+        lan = self.network.lan(household.lan_id)
+        cloud.shadows.mark_registration(device_id, now, lan.router.public_ip)
+        if t_binding is not None:
+            post_token = None
+            if t_binding.post_token is not None:
+                post_token = cloud.tokens.issue(
+                    TokenKind.POST_BINDING, f"{device_id}:{household.user_id}", now
+                )
+            binding = cloud.bindings.create(
+                device_id, household.user_id, now, post_token=post_token
+            )
+            binding.device_confirmed = t_binding.device_confirmed
+            shadow.mark_bound(household.user_id, now)
+            if t_device.post_binding_token is not None:
+                device.post_binding_token = post_token
+            t_known = template.app.devices.get(t_device.device_id)
+            if t_known is not None:
+                app.devices[device_id] = KnownDevice(
+                    device_id,
+                    device.model,
+                    post_token if t_known.post_binding_token is not None else None,
+                )
+            cloud.notify(household.user_id, "binding-created", device_id)
+        device._start_heartbeats()
 
     # ------------------------------------------------------------------
 
@@ -152,7 +276,13 @@ class FleetDeployment:
             return False
 
     def setup_all(self) -> int:
-        """Set up every household; returns how many succeeded."""
+        """Set up every household; returns how many succeeded.
+
+        Clone-built fleets come up already bound, so this is a no-op for
+        them (it reports every household as succeeded).
+        """
+        if self.prebound:
+            return len(self.households)
         with self.env.observer.span("fleet:setup", kind="phase"):
             return sum(
                 1 for household in self.households if self.setup_household(household)

@@ -18,7 +18,13 @@ from repro.identity.entropy import (
     time_to_enumerate,
 )
 from repro.identity.inference import SchemeGuess, infer_scheme, recommended_probe_order
-from repro.identity.keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+from repro.identity.keys import (
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    cached_keypair,
+    generate_keypair,
+)
 from repro.identity.tokens import TokenKind, TokenRecord, TokenService
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "analyze",
     "enumerable_within",
     "expected_attempts",
+    "cached_keypair",
     "generate_keypair",
     "render_report",
     "scheme_from_name",

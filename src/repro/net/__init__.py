@@ -1,6 +1,12 @@
 """Network substrate: addressing, LANs, NAT/firewall, discovery, MITM."""
 
-from repro.net.address import MAC_SUFFIX_SPACE, IpAddress, MacAddress
+from repro.net.address import (
+    FLEET_IP_BLOCKS,
+    MAC_SUFFIX_SPACE,
+    FleetIpAllocator,
+    IpAddress,
+    MacAddress,
+)
 from repro.net.capture import CaptureEntry, PacketCapture
 from repro.net.discovery import SsdpDescription, SsdpSearch, ssdp_discover
 from repro.net.lan import DhcpLease, Lan, Router
@@ -13,6 +19,8 @@ __all__ = [
     "CaptureEntry",
     "DhcpLease",
     "Exchange",
+    "FLEET_IP_BLOCKS",
+    "FleetIpAllocator",
     "IpAddress",
     "Lan",
     "MAC_SUFFIX_SPACE",

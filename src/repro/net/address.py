@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
 
 from repro.core.errors import ProtocolError
 
@@ -68,3 +69,50 @@ class MacAddress:
 
     def __str__(self) -> str:
         return self.value
+
+
+#: Address blocks a fleet allocator may draw router IPs from, in order:
+#: the three RFC 5737 documentation /24s, then the RFC 6598 shared
+#: address space (100.64.0.0/10) once those are exhausted — together
+#: enough for ~4.2 million households without ever leaving ranges that
+#: are guaranteed not to collide with real internet hosts.
+FLEET_IP_BLOCKS = (
+    ("192.0.2", 0, 0),       # TEST-NET-1: fixed /24
+    ("198.51.100", 0, 0),    # TEST-NET-2: fixed /24
+    ("203.0.113", 0, 0),     # TEST-NET-3: fixed /24
+    ("100", 64, 127),        # shared address space: 100.{64..127}.{0..255}.x
+)
+
+
+class FleetIpAllocator:
+    """Hands out unique, always-valid public IPs for fleet routers.
+
+    Replaces the former ``203.0.{113 + index // 200}`` arithmetic, which
+    overflowed the third octet past ~28k households.  Host octets run
+    1–254 (never .0 or .255), and addresses listed in *reserved* — e.g.
+    the attacker host or the cloud — are skipped.
+    """
+
+    def __init__(self, reserved: Optional[Iterable[str]] = None) -> None:
+        self._reserved = frozenset(reserved or ())
+        self._iter = self._addresses()
+
+    def _addresses(self) -> Iterator[str]:
+        """Yield every allocatable address across the blocks, in order."""
+        for prefix, lo, hi in FLEET_IP_BLOCKS:
+            if lo == hi == 0:  # a fixed /24 documentation block
+                for host in range(1, 255):
+                    yield f"{prefix}.{host}"
+            else:  # 100.64.0.0/10: iterate second and third octets too
+                for second in range(lo, hi + 1):
+                    for third in range(256):
+                        for host in range(1, 255):
+                            yield f"{prefix}.{second}.{third}.{host}"
+
+    def allocate(self) -> str:
+        """Return the next unused address (validated via IpAddress)."""
+        for address in self._iter:
+            if address in self._reserved:
+                continue
+            return str(IpAddress(address))
+        raise ProtocolError("fleet IP space exhausted (~4.2M households)")

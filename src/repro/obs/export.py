@@ -6,34 +6,88 @@ Two formats, both self-contained:
   the span forest, the metric catalog and the wall-clock profile
   (schema documented in ``docs/observability.md``).  This is what the
   fleet benchmarks write to ``benchmarks/output/BENCH_obs.json``.
+  Passing ``max_spans`` caps the exported span list (depth-first, so
+  scenario/phase structure survives) with explicit drop accounting —
+  large campaign snapshots stay reviewable.
 * :func:`render_report` — the human-readable run report behind the
   ``python -m repro obs`` subcommand: span tree, metrics table,
   profile table.
+
+:func:`merge_snapshots` folds per-shard snapshots from a sharded
+campaign (``repro.parallel``) into one document with shard provenance:
+each shard's span forest is reparented under a synthetic ``shard:<i>``
+root, metrics merge via :meth:`MetricsRegistry.merge_snapshot`, and
+profiles add per section.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
 
 #: Schema version stamped into every JSON snapshot.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 
-def snapshot(obs: Observability, include_wall: bool = True) -> Dict[str, Any]:
+def _cap_forest(
+    roots: Sequence[Any], max_spans: Optional[int], include_wall: bool
+) -> Tuple[List[Dict[str, Any]], int, int]:
+    """Serialise a span forest under a span budget.
+
+    Walks depth first, emitting each span until *max_spans* spans have
+    been exported; everything past the budget is counted, not emitted.
+    A parent is always exported before its children, so the surviving
+    prefix is a well-formed tree.  Returns ``(dicts, exported, dropped)``.
+    """
+    budget = [max_spans if max_spans is not None else float("inf")]
+    dropped = [0]
+    exported = [0]
+
+    def emit(span: Any) -> Optional[Dict[str, Any]]:
+        if budget[0] <= 0:
+            dropped[0] += sum(1 for _ in span.walk())
+            return None
+        budget[0] -= 1
+        exported[0] += 1
+        data = span.to_dict(include_wall)
+        if span.children:
+            children = [emit(child) for child in span.children]
+            kept = [child for child in children if child is not None]
+            if kept:
+                data["children"] = kept
+            else:
+                data.pop("children", None)
+        return data
+    forest = [emit(root) for root in roots]
+    return [root for root in forest if root is not None], exported[0], dropped[0]
+
+
+def snapshot(
+    obs: Observability,
+    include_wall: bool = True,
+    max_spans: Optional[int] = None,
+) -> Dict[str, Any]:
     """Render one run into a JSON-ready dict.
 
     ``include_wall=False`` strips wall-clock fields, leaving only
     deterministic content (two same-seed runs then produce identical
-    snapshots — the determinism test relies on this).
+    snapshots — the determinism test relies on this).  ``max_spans``
+    caps the exported span list; spans over the budget are counted in
+    ``export_spans_dropped`` instead of serialised.
     """
+    spans, exported, export_dropped = _cap_forest(
+        obs.tracer.roots, max_spans, include_wall
+    )
     data: Dict[str, Any] = {
         "version": SNAPSHOT_VERSION,
-        "spans": [root.to_dict(include_wall) for root in obs.tracer.roots],
+        "spans": spans,
         "span_count": len(obs.tracer),
+        "spans_exported": exported,
         "spans_dropped": obs.tracer.dropped,
+        "export_spans_dropped": export_dropped,
         "metrics": obs.metrics.snapshot(),
     }
     if include_wall:
@@ -41,9 +95,92 @@ def snapshot(obs: Observability, include_wall: bool = True) -> Dict[str, Any]:
     return data
 
 
-def to_json(obs: Observability, include_wall: bool = True, indent: int = 2) -> str:
+def to_json(
+    obs: Observability,
+    include_wall: bool = True,
+    indent: int = 2,
+    max_spans: Optional[int] = None,
+) -> str:
     """JSON-serialise :func:`snapshot`."""
-    return json.dumps(snapshot(obs, include_wall), indent=indent, sort_keys=True)
+    return json.dumps(
+        snapshot(obs, include_wall, max_spans=max_spans),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+    shard_meta: Optional[Sequence[Dict[str, Any]]] = None,
+    max_spans: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Merge per-shard snapshot dicts into one fleet-wide document.
+
+    Each input is one shard's :func:`snapshot`.  The merged document
+    keeps shard provenance three ways: a ``shards`` list with one
+    metadata row per shard (index plus whatever the caller passes in
+    *shard_meta*, e.g. the derived seed), each shard's spans reparented
+    under a synthetic ``shard:<i>`` scenario root, and per-shard span
+    accounting.  Metrics merge via
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` (counter
+    and histogram totals equal the sum over shards); profiles add per
+    section.  ``max_spans`` caps the merged span list with the same
+    drop accounting as :func:`snapshot`.
+    """
+    registry = MetricsRegistry()
+    spans: List[Dict[str, Any]] = []
+    shards: List[Dict[str, Any]] = []
+    profile: Dict[str, Dict[str, float]] = {}
+    span_count = 0
+    spans_dropped = 0
+    budget = max_spans if max_spans is not None else float("inf")
+    export_dropped = 0
+    for index, snap in enumerate(snapshots):
+        meta = dict(shard_meta[index]) if shard_meta else {}
+        meta["shard"] = index
+        shards.append(
+            {**meta, "span_count": snap.get("span_count", 0),
+             "spans_dropped": snap.get("spans_dropped", 0)}
+        )
+        shard_spans = snap.get("spans", [])
+        shard_total = sum(_count_span_dicts(s) for s in shard_spans)
+        if budget >= shard_total + 1:
+            spans.append(
+                {"name": f"shard:{index}", "kind": "scenario",
+                 "start": 0.0, "end": None, "outcome": "ok",
+                 "attrs": meta, "children": shard_spans}
+            )
+            budget -= shard_total + 1
+        else:
+            export_dropped += shard_total + 1
+        span_count += snap.get("span_count", 0)
+        spans_dropped += snap.get("spans_dropped", 0)
+        export_dropped += snap.get("export_spans_dropped", 0)
+        registry.merge_snapshot(snap.get("metrics", {}))
+        for section, stats in snap.get("profile", {}).items():
+            merged = profile.setdefault(section, {"calls": 0, "total_ms": 0.0})
+            merged["calls"] += stats.get("calls", 0)
+            merged["total_ms"] += stats.get("total_ms", 0.0)
+    for section, stats in profile.items():
+        stats["mean_us"] = (
+            stats["total_ms"] * 1e3 / stats["calls"] if stats["calls"] else 0.0
+        )
+    return {
+        "version": SNAPSHOT_VERSION,
+        "sharded": True,
+        "shards": shards,
+        "spans": spans,
+        "span_count": span_count,
+        "spans_dropped": spans_dropped,
+        "export_spans_dropped": export_dropped,
+        "metrics": registry.snapshot(),
+        "profile": {k: profile[k] for k in sorted(profile)},
+    }
+
+
+def _count_span_dicts(span: Dict[str, Any]) -> int:
+    """Number of spans in one serialised subtree."""
+    return 1 + sum(_count_span_dicts(c) for c in span.get("children", ()))
 
 
 def render_report(obs: Observability, max_exchanges_per_span: int = 12) -> str:

@@ -52,6 +52,11 @@ class Counter:
             for key, value in sorted(self._values.items())
         ]
 
+    def merge_snapshot(self, rows: List[Dict[str, Any]]) -> None:
+        """Fold another counter's :meth:`snapshot` rows into this one."""
+        for row in rows:
+            self.inc(row["value"], **row.get("labels", {}))
+
 
 class Gauge:
     """A last-write-wins instantaneous value (plus its observed peak)."""
@@ -71,6 +76,17 @@ class Gauge:
     def snapshot(self) -> Dict[str, float]:
         """JSON-ready ``{value, peak}``."""
         return {"value": self.value, "peak": self.peak}
+
+    def merge_snapshot(self, snap: Dict[str, float]) -> None:
+        """Fold another gauge's snapshot into this one, element-wise max.
+
+        Gauges are last-write-wins within one world; across shards there
+        is no global write order, so the merge takes the maximum of both
+        values and both peaks — deterministic regardless of shard count
+        or completion order.
+        """
+        self.value = max(self.value, snap.get("value", 0.0))
+        self.peak = max(self.peak, self.value, snap.get("peak", 0.0))
 
 
 #: Default histogram bucket upper bounds (virtual seconds / generic units).
@@ -119,6 +135,37 @@ class Histogram:
             },
         }
 
+    @staticmethod
+    def bounds_from_snapshot(snap: Dict[str, Any]) -> Tuple[float, ...]:
+        """Recover the bucket upper bounds encoded in a snapshot's keys."""
+        bounds = []
+        for key in snap.get("buckets", {}):
+            if key.startswith("le_"):
+                raw = key[3:]
+                bounds.append(float(raw) if "." in raw else int(raw))
+        return tuple(sorted(bounds))
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one (same buckets)."""
+        if self.bounds != self.bounds_from_snapshot(snap):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge differing bucket bounds"
+            )
+        positions = {f"le_{bound}": i for i, bound in enumerate(self.bounds)}
+        positions["inf"] = len(self.bounds)
+        for key, count in snap.get("buckets", {}).items():
+            self.counts[positions[key]] += count
+        self.count += snap.get("count", 0)
+        self.sum += snap.get("sum", 0.0)
+        for other, pick in ((snap.get("min"), min), (snap.get("max"), max)):
+            if other is not None:
+                current = self.min if pick is min else self.max
+                merged = other if current is None else pick(current, other)
+                if pick is min:
+                    self.min = merged
+                else:
+                    self.max = merged
+
 
 class MetricsRegistry:
     """Lazily-created, name-addressed metric instruments."""
@@ -155,6 +202,23 @@ class MetricsRegistry:
             "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
         }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold one registry :meth:`snapshot` into this registry.
+
+        The shard-merge primitive: counters and histograms add, gauges
+        take element-wise maxima (see the per-instrument merge methods).
+        Folding every shard's snapshot into one fresh registry yields
+        totals equal to what a single serial run over the union of the
+        shards would have counted.
+        """
+        for name, rows in snap.get("counters", {}).items():
+            self.counter(name).merge_snapshot(rows)
+        for name, gauge_snap in snap.get("gauges", {}).items():
+            self.gauge(name).merge_snapshot(gauge_snap)
+        for name, hist_snap in snap.get("histograms", {}).items():
+            bounds = Histogram.bounds_from_snapshot(hist_snap)
+            self.histogram(name, buckets=bounds).merge_snapshot(hist_snap)
 
     def render(self) -> str:
         """Fixed-width text table of every instrument."""

@@ -1,0 +1,30 @@
+"""Sharded parallel execution of fleet campaigns.
+
+Partitions a fleet campaign into independent shards, fans the shards
+out across worker processes, and merges the per-shard reports, metrics
+and observability snapshots deterministically.  See
+``docs/parallelism.md`` for the shard model and its guarantees.
+"""
+
+from repro.parallel.engine import (
+    CAMPAIGNS,
+    ShardedCampaignResult,
+    ShardResult,
+    ShardSpec,
+    build_shard_specs,
+    run_campaign,
+    run_shard,
+)
+from repro.parallel.shards import derive_shard_seed, partition
+
+__all__ = [
+    "CAMPAIGNS",
+    "ShardSpec",
+    "ShardResult",
+    "ShardedCampaignResult",
+    "build_shard_specs",
+    "derive_shard_seed",
+    "partition",
+    "run_campaign",
+    "run_shard",
+]

@@ -1,0 +1,306 @@
+"""The sharded campaign engine: partition, fan out, merge.
+
+Section V-C frames binding DoS as an attack on "the entire product
+series of a vendor"; this module is what lets the reproduction actually
+operate at product-series scale.  A campaign over N households is
+partitioned into S independent shards (each its own simulated world —
+own cloud, scheduler, RNG), the shards run across worker processes, and
+the results are merged deterministically:
+
+* shard *i* seeds its world with
+  :func:`~repro.parallel.shards.derive_shard_seed`, so re-runs are
+  reproducible and a one-worker run bit-matches the serial path;
+* per-shard :class:`~repro.attacks.campaign.CampaignReport`\\ s merge via
+  :meth:`CampaignReport.merge`, metric snapshots fold into one
+  :class:`~repro.obs.metrics.MetricsRegistry`, and observability
+  snapshots merge with shard provenance via
+  :func:`~repro.obs.export.merge_snapshots`;
+* merge order is shard order, never completion order, so worker
+  scheduling cannot leak into the results.
+
+:func:`run_shard` is the spawn-safe worker entry point: a module-level
+function over a picklable :class:`ShardSpec`, so it works under every
+``multiprocessing`` start method.  The engine prefers ``fork`` where
+the platform offers it (worker start is then cheap enough that even
+small fleets see real speedups) and falls back to ``spawn`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.attacks.campaign import (
+    CampaignReport,
+    campaign_binding_dos,
+    campaign_mass_unbind,
+)
+from repro.cloud.policy import VendorDesign
+from repro.core.errors import ConfigurationError
+from repro.fleet import FleetDeployment
+from repro.obs.export import merge_snapshots, snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import Observability
+from repro.parallel.shards import derive_shard_seed, partition
+
+#: Campaigns the engine can shard.
+CAMPAIGNS = ("binding-dos", "mass-unbind")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs to run its shard (picklable)."""
+
+    shard_index: int
+    shards: int
+    design: VendorDesign
+    campaign: str
+    households: int
+    max_probes: int
+    seed: int
+    request_rate: float = 3000.0
+    build: str = "replay"
+    run_seconds: float = 12.0
+    trace_messages: bool = True
+    snapshot_max_spans: Optional[int] = None
+
+
+@dataclass
+class ShardResult:
+    """What one shard hands back for merging (picklable)."""
+
+    shard_index: int
+    seed: int
+    report: CampaignReport
+    metrics: Dict[str, Any]
+    obs_snapshot: Dict[str, Any]
+    audit_entries: int
+    matches_audit: bool
+    wall_seconds: float
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Run one shard in a fresh world; the worker-process entry point.
+
+    Builds the shard's fleet from its derived seed, runs the campaign
+    against it, and returns the report plus the shard's metric and
+    observability snapshots and its audit-consistency verdict.
+    """
+    started = time.perf_counter()
+    obs = Observability(trace_messages=spec.trace_messages)
+    fleet = FleetDeployment(
+        spec.design,
+        households=spec.households,
+        seed=spec.seed,
+        observer=obs,
+        build=spec.build,
+    )
+    if spec.campaign == "binding-dos":
+        report = campaign_binding_dos(
+            fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
+        )
+    elif spec.campaign == "mass-unbind":
+        fleet.setup_all()
+        fleet.run(spec.run_seconds)
+        report = campaign_mass_unbind(
+            fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
+        )
+    else:
+        raise ConfigurationError(f"unknown campaign {spec.campaign!r}")
+    return ShardResult(
+        shard_index=spec.shard_index,
+        seed=spec.seed,
+        report=report,
+        metrics=obs.metrics.snapshot(),
+        obs_snapshot=snapshot(obs, max_spans=spec.snapshot_max_spans),
+        audit_entries=len(fleet.cloud.audit),
+        matches_audit=obs.matches_audit(fleet.cloud.audit),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class ShardedCampaignResult:
+    """A merged sharded campaign: fleet-wide report plus provenance."""
+
+    campaign: str
+    vendor: str
+    workers: int
+    shards: int
+    seed: int
+    report: CampaignReport
+    shard_results: List[ShardResult]
+    metrics: MetricsRegistry
+    snapshot: Dict[str, Any]
+    wall_seconds: float
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def audit_entries_total(self) -> int:
+        """Sum of every shard's cloud audit-log length."""
+        return sum(result.audit_entries for result in self.shard_results)
+
+    @property
+    def consistent(self) -> bool:
+        """The sharded analogue of :meth:`Observability.matches_audit`.
+
+        True iff every shard's counters matched its own audit log *and*
+        the merged ``cloud.audit.entries`` total equals the sum of the
+        shard audit-log lengths — i.e. no request was lost or double
+        counted anywhere between the workers and the merge.
+        """
+        if not all(result.matches_audit for result in self.shard_results):
+            return False
+        merged_total = self.metrics.counter("cloud.audit.entries").total()
+        return merged_total == self.audit_entries_total
+
+    def render(self) -> str:
+        """Multi-line summary: merged report, shard table, consistency."""
+        lines = [self.report.render(), ""]
+        lines.append(
+            f"sharded execution: {self.shards} shard(s) across "
+            f"{self.workers} worker(s), base seed {self.seed}"
+        )
+        for result in self.shard_results:
+            lines.append(
+                f"  shard {result.shard_index}: seed={result.seed} "
+                f"households={result.report.households} "
+                f"probes={result.report.ids_probed} "
+                f"denied={result.report.victims_denied} "
+                f"audit={result.audit_entries} "
+                f"wall={result.wall_seconds:.2f}s"
+            )
+        lines.append(
+            "merged metrics vs shard audits: "
+            f"{'consistent' if self.consistent else 'MISMATCH'} "
+            f"({self.audit_entries_total} audit entries fleet-wide)"
+        )
+        return "\n".join(lines)
+
+
+def _pool_context(mp_start: Optional[str]) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context to fan out with.
+
+    Prefers ``fork`` (cheap worker start; available on POSIX) and falls
+    back to ``spawn`` — :func:`run_shard` is spawn-safe either way.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if mp_start is None:
+        mp_start = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(mp_start)
+
+
+def build_shard_specs(
+    design: VendorDesign,
+    campaign: str = "binding-dos",
+    households: int = 100,
+    max_probes: int = 256,
+    shards: int = 1,
+    seed: int = 0,
+    request_rate: float = 3000.0,
+    build: str = "replay",
+    run_seconds: float = 12.0,
+    trace_messages: bool = True,
+    snapshot_max_spans: Optional[int] = None,
+) -> List[ShardSpec]:
+    """Partition one campaign into per-shard specs.
+
+    Households and the probe budget are split with
+    :func:`~repro.parallel.shards.partition` (parts sum back to the
+    serial totals) and each shard's seed is derived from
+    ``(seed, shard_index)``.
+    """
+    if campaign not in CAMPAIGNS:
+        raise ConfigurationError(f"unknown campaign {campaign!r}")
+    if campaign == "binding-dos" and build == "clone":
+        raise ConfigurationError(
+            "binding-dos attacks factory-fresh fleets; clone-built fleets "
+            "are already bound (use build='replay')"
+        )
+    shards = max(1, min(shards, households))
+    household_parts = partition(households, shards)
+    probe_parts = partition(max_probes, shards)
+    return [
+        ShardSpec(
+            shard_index=index,
+            shards=shards,
+            design=design,
+            campaign=campaign,
+            households=household_parts[index],
+            max_probes=probe_parts[index],
+            seed=derive_shard_seed(seed, index),
+            request_rate=request_rate,
+            build=build,
+            run_seconds=run_seconds,
+            trace_messages=trace_messages,
+            snapshot_max_spans=snapshot_max_spans,
+        )
+        for index in range(shards)
+    ]
+
+
+def run_campaign(
+    design: VendorDesign,
+    campaign: str = "binding-dos",
+    households: int = 100,
+    max_probes: int = 256,
+    workers: int = 1,
+    seed: int = 0,
+    shards: Optional[int] = None,
+    request_rate: float = 3000.0,
+    build: str = "replay",
+    run_seconds: float = 12.0,
+    trace_messages: bool = True,
+    snapshot_max_spans: Optional[int] = None,
+    mp_start: Optional[str] = None,
+) -> ShardedCampaignResult:
+    """Run one fleet campaign sharded across *workers* processes.
+
+    With ``workers=1`` (one shard) everything runs in-process and the
+    result bit-matches the serial ``campaign_*`` path for the same
+    seed.  With more workers, *shards* (default: one per worker) shards
+    are mapped over a process pool and merged in shard order:
+    reports via :meth:`CampaignReport.merge`, metrics into one
+    registry, observability snapshots via
+    :func:`~repro.obs.export.merge_snapshots` with shard provenance.
+    """
+    if workers < 1:
+        raise ConfigurationError("need at least one worker")
+    specs = build_shard_specs(
+        design, campaign=campaign, households=households, max_probes=max_probes,
+        shards=shards if shards is not None else workers, seed=seed,
+        request_rate=request_rate, build=build, run_seconds=run_seconds,
+        trace_messages=trace_messages, snapshot_max_spans=snapshot_max_spans,
+    )
+    started = time.perf_counter()
+    if workers == 1 or len(specs) == 1:
+        results = [run_shard(spec) for spec in specs]
+    else:
+        context = _pool_context(mp_start)
+        with context.Pool(processes=min(workers, len(specs))) as pool:
+            results = pool.map(run_shard, specs)
+    wall = time.perf_counter() - started
+
+    merged_report = CampaignReport.merge([result.report for result in results])
+    registry = MetricsRegistry()
+    for result in results:
+        registry.merge_snapshot(result.metrics)
+    merged_snapshot = merge_snapshots(
+        [result.obs_snapshot for result in results],
+        shard_meta=[{"seed": result.seed} for result in results],
+        max_spans=snapshot_max_spans,
+    )
+    return ShardedCampaignResult(
+        campaign=campaign,
+        vendor=design.name,
+        workers=workers,
+        shards=len(specs),
+        seed=seed,
+        report=merged_report,
+        shard_results=results,
+        metrics=registry,
+        snapshot=merged_snapshot,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,47 @@
+"""Shard arithmetic: seed derivation and deterministic partitioning.
+
+A sharded campaign splits a fleet of N households (and its probe
+budget) into S independent shards.  Two rules make the split
+reproducible and serial-comparable:
+
+* **Seed derivation** — shard *i* seeds its world with
+  :func:`derive_shard_seed`\\ ``(seed, i)``.  Shard 0 keeps the base
+  seed unchanged, so a one-shard run builds *exactly* the world the
+  serial path builds and bit-matches its results; later shards mix the
+  index in via CRC32 (the same construction
+  :meth:`~repro.sim.rand.DeterministicRandom.fork` uses), so shards
+  never share randomness and the derivation survives Python's
+  per-process hash randomisation.
+* **Partitioning** — :func:`partition` splits an integer total into S
+  near-equal parts, the remainder spread over the leading shards.
+  Applied to both the household count and the probe budget, the parts
+  always sum back to the serial totals.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+
+def derive_shard_seed(seed: int, shard_index: int) -> int:
+    """The world seed for shard *shard_index* of a run seeded *seed*.
+
+    Shard 0 returns *seed* unchanged (bit-compatibility with the serial
+    path); every other shard gets a stable CRC32 mix of the pair.
+    """
+    if shard_index == 0:
+        return seed
+    return zlib.crc32(f"{seed}/shard-{shard_index}".encode("utf-8"))
+
+
+def partition(total: int, shards: int) -> List[int]:
+    """Split *total* into *shards* deterministic near-equal parts.
+
+    The first ``total % shards`` parts are one larger; parts sum to
+    *total* exactly.  ``partition(400, 4) == [100, 100, 100, 100]``.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    base, remainder = divmod(total, shards)
+    return [base + (1 if i < remainder else 0) for i in range(shards)]

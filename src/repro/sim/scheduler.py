@@ -165,10 +165,22 @@ class Scheduler:
             return True
         return False
 
+    def _pending_at_or_before(self, time: float) -> bool:
+        """True iff a live (uncancelled) event is due at or before *time*."""
+        while self._queue and self._queue[0].cancelled:
+            entry = heapq.heappop(self._queue)
+            entry.in_heap = False
+            self._cancelled -= 1
+        return bool(self._queue) and self._queue[0].time <= time
+
     def run_until(self, time: float, max_events: int = 1_000_000) -> int:
         """Run all events with timestamp <= *time*; returns events run.
 
         The clock ends exactly at *time* even if the queue drains early.
+        Raises only when the event budget is exhausted *and* a live event
+        at or before *time* is still pending (a genuine livelock); a run
+        that happens to execute exactly ``max_events`` events and then
+        drains, or leaves only events past *time*, completes normally.
         """
         executed = 0
         with self._observer.profile("scheduler.run"):
@@ -185,7 +197,7 @@ class Scheduler:
                 entry.callback()
                 executed += 1
         self._observer.on_scheduler_flush(executed, len(self))
-        if executed >= max_events:
+        if executed >= max_events and self._pending_at_or_before(time):
             raise SimulationError("event budget exhausted; livelock suspected")
         if time > self.clock.now:
             self.clock.advance_to(time)

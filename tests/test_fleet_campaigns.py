@@ -38,6 +38,58 @@ class TestFleetDeployment:
         fleet = FleetDeployment(vendor("OZWI"), households=1, seed=1)
         assert fleet.attacker_token() == fleet.attacker_token()
 
+    def test_public_ips_stay_valid_past_the_old_octet_overflow(self):
+        # index // 200 arithmetic used to overflow the third octet; the
+        # allocator hands out 760+ households without an invalid address
+        fleet = FleetDeployment(vendor("OZWI"), households=800, seed=1)
+        ips = {str(fleet.network.lan(h.lan_id).router.public_ip) for h in fleet.households}
+        assert len(ips) == 800
+        assert "100.64.0.1" in ips  # spilled into the RFC 6598 block
+
+
+class TestCloneBuiltFleet:
+    def test_clone_build_matches_replayed_bound_state(self):
+        replay = FleetDeployment(vendor("OZWI"), households=5, seed=4)
+        assert replay.setup_all() == 5
+        clone = FleetDeployment(vendor("OZWI"), households=5, seed=4, build="clone")
+        assert clone.prebound
+        assert clone.bound_users() == replay.bound_users()
+        states = [
+            clone.cloud.shadow_state(h.device.device_id) for h in clone.households
+        ]
+        assert states.count("control") == 5
+
+    def test_clone_build_setup_all_is_a_noop(self):
+        fleet = FleetDeployment(vendor("OZWI"), households=3, seed=4, build="clone")
+        audit_before = len(fleet.cloud.audit)
+        assert fleet.setup_all() == 3
+        assert len(fleet.cloud.audit) == audit_before
+
+    def test_clone_build_issues_far_fewer_cloud_requests(self):
+        replay = FleetDeployment(vendor("OZWI"), households=6, seed=4)
+        replay.setup_all()
+        clone = FleetDeployment(vendor("OZWI"), households=6, seed=4, build="clone")
+        clone.setup_all()
+        assert len(clone.cloud.audit) < len(replay.cloud.audit)
+
+    def test_clone_build_works_for_pubkey_vendor(self):
+        design = vendor("Philips Hue")  # PUBKEY device auth
+        clone = FleetDeployment(design, households=4, seed=4, build="clone")
+        bound = clone.bound_users()
+        assert all(user is not None for user in bound.values())
+
+    def test_clone_built_devices_still_heartbeat(self):
+        fleet = FleetDeployment(vendor("OZWI"), households=3, seed=4, build="clone")
+        fleet.run(12.0)
+        states = [
+            fleet.cloud.shadow_state(h.device.device_id) for h in fleet.households
+        ]
+        assert states.count("control") == 3
+
+    def test_unknown_build_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetDeployment(vendor("OZWI"), households=1, build="magic")
+
 
 class TestBindingDosCampaign:
     def test_whole_product_series_denied_on_ozwi(self):

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.errors import ProtocolError
-from repro.net.address import MAC_SUFFIX_SPACE, IpAddress, MacAddress
+from repro.net.address import (
+    FLEET_IP_BLOCKS,
+    MAC_SUFFIX_SPACE,
+    FleetIpAllocator,
+    IpAddress,
+    MacAddress,
+)
 
 
 class TestIpAddress:
@@ -39,3 +45,44 @@ class TestMacAddress:
         # Section I: "the search space of MAC addresses is often within 3 bytes"
         assert MAC_SUFFIX_SPACE == 256 ** 3 == 16_777_216
         assert MacAddress.search_space_for_oui() == MAC_SUFFIX_SPACE
+
+
+class TestFleetIpAllocator:
+    def test_first_addresses_come_from_test_net_1(self):
+        allocator = FleetIpAllocator()
+        assert allocator.allocate() == "192.0.2.1"
+        assert allocator.allocate() == "192.0.2.2"
+
+    def test_reserved_addresses_are_skipped(self):
+        allocator = FleetIpAllocator(reserved=("192.0.2.1", "192.0.2.3"))
+        assert [allocator.allocate() for _ in range(3)] == [
+            "192.0.2.2", "192.0.2.4", "192.0.2.5",
+        ]
+
+    def test_crosses_block_boundaries_without_invalid_octets(self):
+        # The old arithmetic (203.0.{113 + index // 200}) emitted octets
+        # >255 past ~28k households; the allocator must never do that.
+        allocator = FleetIpAllocator()
+        seen = set()
+        for _ in range(1000):
+            address = allocator.allocate()  # IpAddress-validated internally
+            assert address not in seen
+            seen.add(address)
+            assert max(int(octet) for octet in address.split(".")) <= 255
+        # 3 documentation /24s hold 254 hosts each; #763+ spill into
+        # the RFC 6598 shared space
+        assert "203.0.113.254" in seen
+        assert "100.64.0.1" in seen
+
+    def test_never_emits_host_octet_0_or_255(self):
+        allocator = FleetIpAllocator()
+        for _ in range(600):
+            assert int(allocator.allocate().rsplit(".", 1)[1]) not in (0, 255)
+
+    def test_blocks_are_documentation_and_shared_ranges(self):
+        prefixes = [block[0] for block in FLEET_IP_BLOCKS]
+        assert prefixes == ["192.0.2", "198.51.100", "203.0.113", "100"]
+
+    def test_capacity_supports_large_fleets(self):
+        # ~4.2M addresses: 3*254 fixed + 64*256*254 shared-space hosts
+        assert 3 * 254 + 64 * 256 * 254 > 4_000_000

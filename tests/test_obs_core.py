@@ -9,7 +9,7 @@ from repro.obs.observer import NULL_CONTEXT, NULL_OBSERVER, Observer, iter_hooks
 from repro.obs.profiler import Profiler
 from repro.obs.runtime import Observability
 from repro.obs.tracer import Tracer
-from repro.obs.export import render_report, snapshot, to_json
+from repro.obs.export import merge_snapshots, render_report, snapshot, to_json
 
 
 class TestTracer:
@@ -157,7 +157,7 @@ class TestExport:
     def test_snapshot_roundtrips_through_json(self):
         obs = self.build()
         data = json.loads(to_json(obs))
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert data["spans"][0]["name"] == "scenario"
         assert data["spans"][0]["children"][0]["name"] == "msg"
         assert data["metrics"]["counters"]["c"][0]["value"] == 2
@@ -174,3 +174,126 @@ class TestExport:
         assert "== span tree (virtual time) ==" in text
         assert "== metrics ==" in text
         assert "== wall-clock profile ==" in text
+
+    def build_forest(self, events=6):
+        obs = Observability()
+        obs.tracer.set_time_source(lambda: 0.0)
+        with obs.span("scenario", kind="scenario"):
+            for i in range(events):
+                obs.event(f"msg{i}")
+        return obs
+
+    def test_max_spans_caps_export_with_drop_accounting(self):
+        obs = self.build_forest(events=6)  # 7 spans total
+        data = snapshot(obs, max_spans=3)
+        assert data["spans_exported"] == 3
+        assert data["export_spans_dropped"] == 4
+        # parent survives before children: the cap keeps a well-formed tree
+        assert data["spans"][0]["name"] == "scenario"
+        assert len(data["spans"][0]["children"]) == 2
+
+    def test_max_spans_none_exports_everything(self):
+        obs = self.build_forest(events=6)
+        data = snapshot(obs)
+        assert data["spans_exported"] == 7
+        assert data["export_spans_dropped"] == 0
+
+    def test_max_spans_zero_drops_all_spans_but_keeps_metrics(self):
+        obs = self.build_forest(events=2)
+        obs.count("kept", 5)
+        data = snapshot(obs, max_spans=0)
+        assert data["spans"] == []
+        assert data["export_spans_dropped"] == 3
+        assert data["metrics"]["counters"]["kept"][0]["value"] == 5
+
+
+class TestMetricsMerge:
+    def test_counter_merge_adds_per_label_series(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2, outcome="ok")
+        b.inc(3, outcome="ok")
+        b.inc(1, outcome="rejected")
+        a.merge_snapshot(b.snapshot())
+        assert a.value(outcome="ok") == 5
+        assert a.value(outcome="rejected") == 1
+        assert a.total() == 6
+
+    def test_gauge_merge_takes_elementwise_max(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(9)
+        a.set(2)
+        b.set(5)
+        b.set(3)
+        a.merge_snapshot(b.snapshot())
+        assert a.value == 3
+        assert a.peak == 9
+
+    def test_histogram_merge_adds_buckets_and_stats(self):
+        a, b = Histogram("h", buckets=(10, 100)), Histogram("h", buckets=(10, 100))
+        for value in (1, 50):
+            a.observe(value)
+        for value in (500, 5):
+            b.observe(value)
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 4
+        assert a.sum == 556
+        assert a.min == 1 and a.max == 500
+        assert a.snapshot()["buckets"] == {"le_10": 2, "le_100": 1, "inf": 1}
+
+    def test_histogram_merge_rejects_mismatched_buckets(self):
+        a = Histogram("h", buckets=(10, 100))
+        b = Histogram("h", buckets=(1, 2, 3))
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_registry_merge_equals_union_of_runs(self):
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        shard_a.counter("requests").inc(4, outcome="ok")
+        shard_b.counter("requests").inc(6, outcome="ok")
+        shard_a.histogram("latency", buckets=(10,)).observe(3)
+        shard_b.histogram("latency", buckets=(10,)).observe(30)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(shard_a.snapshot())
+        merged.merge_snapshot(shard_b.snapshot())
+        assert merged.counter("requests").total() == 10
+        assert merged.histogram("latency", buckets=(10,)).count == 2
+
+    def test_registry_merge_survives_json_roundtrip(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(2, k="v")
+        source.histogram("h", buckets=(5, 50)).observe(7)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(json.loads(json.dumps(source.snapshot(), sort_keys=True)))
+        assert merged.counter("c").value(k="v") == 2
+        assert merged.histogram("h", buckets=(5, 50)).count == 1
+
+
+class TestMergeSnapshots:
+    def shard(self, value):
+        obs = Observability()
+        obs.tracer.set_time_source(lambda: 0.0)
+        with obs.span("scenario", kind="scenario"):
+            obs.event("msg")
+        obs.count("requests", value)
+        with obs.profile("section"):
+            pass
+        return snapshot(obs)
+
+    def test_merge_keeps_shard_provenance(self):
+        merged = merge_snapshots(
+            [self.shard(2), self.shard(3)],
+            shard_meta=[{"seed": 7}, {"seed": 9}],
+        )
+        assert merged["sharded"] is True
+        assert [row["shard"] for row in merged["shards"]] == [0, 1]
+        assert [row["seed"] for row in merged["shards"]] == [7, 9]
+        assert [root["name"] for root in merged["spans"]] == ["shard:0", "shard:1"]
+        assert merged["metrics"]["counters"]["requests"][0]["value"] == 5
+        assert merged["profile"]["section"]["calls"] == 2
+
+    def test_merge_span_cap_drops_whole_shards(self):
+        merged = merge_snapshots([self.shard(1), self.shard(1)], max_spans=3)
+        # each shard needs 3 spans (synthetic root + 2); only one fits
+        assert [root["name"] for root in merged["spans"]] == ["shard:0"]
+        assert merged["export_spans_dropped"] == 3
+        assert merged["metrics"]["counters"]["requests"][0]["value"] == 2

@@ -237,7 +237,7 @@ class TestObsCli:
         assert main(["obs", "--households", "2", "--probes", "4",
                      "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert data["metrics"]["counters"]["campaign.probes"][0]["value"] == 4
 
     def test_obs_subcommand_attack_battery(self, capsys):

@@ -112,6 +112,31 @@ class TestScheduler:
         with pytest.raises(SimulationError):
             scheduler.run_until(1.0, max_events=100)
 
+    def test_budget_hit_exactly_at_drain_is_not_livelock(self):
+        scheduler = Scheduler()
+        fired = []
+        for i in range(5):
+            scheduler.at(float(i), lambda i=i: fired.append(i))
+        scheduler.run_until(10.0, max_events=5)  # budget == events: fine
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_budget_hit_with_only_future_events_is_not_livelock(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(50.0, lambda: fired.append(50))  # beyond the horizon
+        scheduler.run_until(2.0, max_events=1)
+        assert fired == [1]
+
+    def test_budget_hit_with_pending_cancelled_event_is_not_livelock(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        handle = scheduler.at(1.5, lambda: fired.append(15))
+        handle.cancel()
+        scheduler.run_until(2.0, max_events=1)
+        assert fired == [1]
+
     def test_step_returns_false_when_empty(self):
         assert Scheduler().step() is False
 
