@@ -1,0 +1,169 @@
+"""The unified cloud state layer: snapshot, journal and clone costs.
+
+Times the state layer's three moving parts against replay-built fleets
+and emits ``benchmarks/output/BENCH_state.json`` with:
+
+* snapshot capture / JSON encode / constructor-restore latency as the
+  fleet grows (the binding table is the paper's root of ownership, so
+  this is the cost of making it durable),
+* journal replay recovery time after an injected torn-tail crash —
+  checkpoint + WAL entries replayed back into a fresh cloud, and
+* store-level template cloning (``build="clone"``) vs full Figure 1
+  replay for fleet construction, now that cloning rides the
+  ``clone_record`` path.
+"""
+
+import json
+import time
+
+from repro.cloud.service import CloudService
+from repro.cloud.state import (
+    JournalBackend,
+    build_snapshot,
+    meta_entry,
+    recover_from_journal,
+    snapshot_store_counts,
+)
+from repro.fleet import FleetDeployment
+from repro.vendors import vendor
+
+from conftest import OUTPUT_DIR, emit
+
+VENDOR = "OZWI"
+SEED = 11
+FLEET_CURVE = (25, 50, 100)
+
+
+def _build_fleet(households, build="replay"):
+    fleet = FleetDeployment(
+        vendor(VENDOR), households=households, seed=SEED, build=build
+    )
+    fleet.setup_all()
+    fleet.run(12.0)
+    return fleet
+
+
+def _snapshot_row(households):
+    """Capture/encode/restore latency for one fleet size."""
+    fleet = _build_fleet(households)
+    started = time.perf_counter()
+    data = build_snapshot(fleet.cloud)
+    capture_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    text = json.dumps(data, sort_keys=True)
+    encode_wall = time.perf_counter() - started
+
+    fleet.cloud.shutdown()
+    started = time.perf_counter()
+    restored = CloudService.restore(
+        fleet.env, fleet.network, fleet.design, json.loads(text)
+    )
+    restore_wall = time.perf_counter() - started
+
+    assert json.dumps(build_snapshot(restored), sort_keys=True) == text
+    counts = snapshot_store_counts(data)
+    assert counts["bindings"] == households
+    return {
+        "households": households,
+        "records": sum(counts.values()),
+        "snapshot_bytes": len(text.encode("utf-8")),
+        "capture_seconds": round(capture_wall, 4),
+        "encode_seconds": round(encode_wall, 4),
+        "restore_seconds": round(restore_wall, 4),
+    }
+
+
+def _journal_recovery_row(households=50):
+    """Torn-tail crash -> replay recovery, timed."""
+    fleet = _build_fleet(households)
+    backend = JournalBackend()
+    backend.append(meta_entry(fleet.design.name))
+    for name, store in fleet.cloud.state_stores().items():
+        if not store.durable:
+            continue
+        for record in store.snapshot_state():
+            backend.append({"store": name, "op": "put", "record": record})
+    fleet.cloud.attach_journal(backend)
+    # post-checkpoint churn: one schedule write per household, the last
+    # of which is torn by the injected crash
+    for household in fleet.households:
+        fleet.cloud.relay.set_schedule(
+            household.device.device_id, {"on": "19:00"}
+        )
+    backend.crash_mid_write()
+    expected_bindings = fleet.cloud.bindings.count()
+    fleet.cloud.shutdown()
+
+    started = time.perf_counter()
+    recovery = recover_from_journal(
+        fleet.env, fleet.network, fleet.design, backend
+    )
+    recovery_wall = time.perf_counter() - started
+
+    assert recovery.torn_tail
+    assert recovery.cloud.bindings.count() == expected_bindings
+    return {
+        "households": households,
+        "journal_entries": backend.entry_count(),
+        "journal_bytes": backend.size_bytes(),
+        "entries_applied": recovery.entries_applied,
+        "torn_tail_dropped_bytes": recovery.dropped_bytes,
+        "recovery_seconds": round(recovery_wall, 4),
+    }
+
+
+def _clone_vs_replay_row(households=100):
+    """Store-level clone_record cloning vs full Figure 1 replay."""
+    def build(mode):
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            fleet = FleetDeployment(
+                vendor(VENDOR), households=households, seed=SEED, build=mode
+            )
+            fleet.setup_all()
+            best = min(best, time.perf_counter() - started)
+            assert len(fleet.bound_users()) == households
+        return best
+
+    replay_wall = build("replay")
+    clone_wall = build("clone")
+    return {
+        "households": households,
+        "replay_seconds": round(replay_wall, 4),
+        "clone_seconds": round(clone_wall, 4),
+        "ratio": round(replay_wall / clone_wall, 2),
+        "clone_cheaper": clone_wall < replay_wall,
+    }
+
+
+def test_state_layer_costs(benchmark):
+    """The headline artifact: state-layer cost table -> BENCH_state.json."""
+    snapshot_curve = benchmark.pedantic(
+        lambda: [_snapshot_row(n) for n in FLEET_CURVE], rounds=1, iterations=1
+    )
+    journal = _journal_recovery_row()
+    clone = _clone_vs_replay_row()
+
+    payload = {
+        "config": {"vendor": VENDOR, "seed": SEED},
+        "snapshot_curve": snapshot_curve,
+        "journal_recovery": journal,
+        "clone_vs_replay": clone,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_state.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    top = snapshot_curve[-1]
+    emit(
+        "state_layer",
+        f"{top['households']}-household snapshot: {top['snapshot_bytes']}B, "
+        f"capture {top['capture_seconds']}s / restore {top['restore_seconds']}s; "
+        f"journal recovery of {journal['entries_applied']} entries in "
+        f"{journal['recovery_seconds']}s after a torn tail; "
+        f"clone build {clone['ratio']}x cheaper than replay; "
+        f"BENCH_state.json written",
+    )
+    assert clone["clone_cheaper"]

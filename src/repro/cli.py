@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro secure              # attack the recommended designs
     python -m repro obs                 # traced fleet campaign run report
     python -m repro campaign --workers 4 --households 400
+    python -m repro snapshot save /tmp/cloud.json --vendor OZWI
 """
 
 from __future__ import annotations
@@ -211,6 +212,75 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     return result.render()
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.cloud.persistence import snapshot_json
+    from repro.cloud.service import CloudService
+    from repro.cloud.state import migrate_snapshot, snapshot_store_counts
+    from repro.fleet import FleetDeployment
+    from repro.net.network import Network
+    from repro.sim.environment import Environment
+    from repro.vendors import vendor
+
+    if args.action == "save":
+        fleet = FleetDeployment(
+            vendor(args.vendor), households=args.households, seed=args.seed
+        )
+        bound = fleet.setup_all()
+        fleet.run(args.run_seconds)
+        document = snapshot_json(fleet.cloud)
+        with open(args.path, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        return (
+            f"saved {fleet.design.name} snapshot to {args.path} "
+            f"({bound}/{args.households} household(s) bound, "
+            f"{len(document)} bytes)"
+        )
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    if args.action == "inspect":
+        migrated = migrate_snapshot(data)
+        counts = snapshot_store_counts(data)
+        lines = [
+            f"snapshot {args.path}:",
+            f"  version: {data.get('version')}"
+            + ("" if data.get("version") == migrated["version"]
+               else f" (migrates to v{migrated['version']})"),
+            f"  design:  {migrated.get('design')}",
+            f"  time:    t={migrated.get('time', 0.0):.3f}",
+            "  stores:",
+        ]
+        lines.extend(
+            f"    {name:<10} {count} record(s)" for name, count in counts.items()
+        )
+        return "\n".join(lines)
+
+    # action == "load": restore into a fresh world and round-trip check.
+    design = vendor(data.get("design"))
+    env = Environment(seed=args.seed)
+    network = Network(env)
+    cloud = CloudService.restore(env, network, design, data)
+    resaved = json.loads(snapshot_json(cloud))
+    round_trip = resaved["stores"] == migrate_snapshot(data)["stores"]
+    lines = [
+        f"restored {design.name} snapshot from {args.path}:",
+    ]
+    lines.extend(
+        f"  {name:<10} {store.record_count()} record(s)"
+        for name, store in cloud.state_stores().items()
+        if store.durable
+    )
+    lines.append(f"  shadows rebuilt: {cloud.shadows.record_count()}")
+    lines.append(
+        "  round-trip: "
+        + ("stores byte-identical" if round_trip else "MISMATCH after re-save")
+    )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (one subcommand per artifact)."""
     parser = argparse.ArgumentParser(
@@ -292,6 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="cap exported spans in JSON output")
     campaign.add_argument("--format", choices=["text", "json"], default="text")
     campaign.set_defaults(run=_cmd_campaign)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="save / inspect / load a cloud state snapshot (v2)"
+    )
+    snapshot.add_argument("action", choices=["save", "load", "inspect"])
+    snapshot.add_argument("path", help="snapshot JSON file")
+    snapshot.add_argument("--vendor", default="OZWI",
+                          help="vendor design to build before saving")
+    snapshot.add_argument("--households", type=int, default=3,
+                          help="households to set up before saving")
+    snapshot.add_argument("--run-seconds", type=float, default=12.0,
+                          help="virtual seconds to run before saving")
+    snapshot.set_defaults(run=_cmd_snapshot)
 
     sub.add_parser("sweep", help="closed-form design-space sweep").set_defaults(run=_cmd_sweep)
     sub.add_parser("secure", help="attack the recommended designs").set_defaults(run=_cmd_secure)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
 from repro.core.errors import AuthenticationFailed, ConfigurationError
 from repro.identity.tokens import TokenKind, TokenService
 
@@ -31,8 +32,10 @@ class Account:
     created_at: float = 0.0
 
 
-class AccountStore:
+class AccountStore(RecordStoreBase):
     """Registration, login and token-based user authentication."""
+
+    state_name = "accounts"
 
     def __init__(self, tokens: TokenService) -> None:
         self._tokens = tokens
@@ -49,6 +52,7 @@ class AccountStore:
         salt = hashlib.sha256(user_id.encode("utf-8")).hexdigest()[:16]
         account = Account(user_id, salt, _digest(password, salt), now)
         self._accounts[user_id] = account
+        self._record_put(self.to_record(account))
         return account
 
     def exists(self, user_id: str) -> bool:
@@ -82,3 +86,57 @@ class AccountStore:
 
     def logout(self, user_token: str) -> bool:
         return self._tokens.revoke(user_token)
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: Account) -> Record:
+        """One account as a snapshot/journal record."""
+        return {
+            "user_id": obj.user_id,
+            "salt": obj.salt,
+            "password_digest": obj.password_digest,
+            "created_at": obj.created_at,
+        }
+
+    def from_record(self, record: Record) -> Account:
+        """Decode one account record."""
+        return Account(
+            record["user_id"],
+            record["salt"],
+            record["password_digest"],
+            record["created_at"],
+        )
+
+    def record_key(self, record: Record) -> str:
+        """Accounts are keyed by user id."""
+        return record["user_id"]
+
+    def record_count(self) -> int:
+        """Number of registered accounts."""
+        return len(self._accounts)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every account record, sorted by user id."""
+        return [
+            self.to_record(self._accounts[user_id])
+            for user_id in sorted(self._accounts)
+        ]
+
+    def apply_record(self, record: Record) -> Account:
+        """Upsert one account (restore / journal replay / clone)."""
+        account = self.from_record(record)
+        self._accounts[account.user_id] = account
+        self._record_put(record)
+        return account
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one account by user id."""
+        existed = self._accounts.pop(key, None) is not None
+        if existed:
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one account record."""
+        account = self._accounts.get(key)
+        return self.to_record(account) if account is not None else None

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
 from repro.core.errors import BindingConflict
 
 
@@ -37,8 +38,10 @@ class Binding:
         return self.device_confirmed
 
 
-class BindingStore:
+class BindingStore(RecordStoreBase):
     """Bindings indexed by device; enforces the one-binding invariant."""
+
+    state_name = "bindings"
 
     def __init__(self) -> None:
         self._by_device: Dict[str, Binding] = {}
@@ -76,14 +79,90 @@ class BindingStore:
             )
         binding = Binding(device_id, user_id, now, post_token)
         self._by_device[device_id] = binding
+        self._record_put(self.to_record(binding))
         return binding
+
+    def confirm_device(self, device_id: str, presented_token: Optional[str]) -> bool:
+        """Store-level device confirmation (journals the updated record).
+
+        Routes :meth:`Binding.confirm_device` through the store so the
+        write-ahead journal sees the flag flip; returns the (possibly
+        unchanged) confirmation state, ``False`` when unbound.
+        """
+        binding = self._by_device.get(device_id)
+        if binding is None:
+            return False
+        before = binding.device_confirmed
+        confirmed = binding.confirm_device(presented_token)
+        if confirmed and not before:
+            self._record_put(self.to_record(binding))
+        return confirmed
 
     def revoke(self, device_id: str) -> Binding:
         """Remove and return the binding; raises if none exists."""
         try:
-            return self._by_device.pop(device_id)
+            binding = self._by_device.pop(device_id)
         except KeyError:
             raise BindingConflict("not-bound", f"device {device_id!r} has no binding") from None
+        self._record_del(device_id)
+        return binding
 
     def count(self) -> int:
         return len(self._by_device)
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: Binding) -> Record:
+        """One binding as a snapshot/journal record."""
+        return {
+            "device_id": obj.device_id,
+            "user_id": obj.user_id,
+            "created_at": obj.created_at,
+            "post_token": obj.post_token,
+            "device_confirmed": obj.device_confirmed,
+        }
+
+    def from_record(self, record: Record) -> Binding:
+        """Decode one binding record."""
+        binding = Binding(
+            record["device_id"],
+            record["user_id"],
+            record["created_at"],
+            post_token=record.get("post_token"),
+        )
+        binding.device_confirmed = bool(record.get("device_confirmed", False))
+        return binding
+
+    def record_key(self, record: Record) -> str:
+        """Bindings are keyed by device id (the one-binding invariant)."""
+        return record["device_id"]
+
+    def record_count(self) -> int:
+        """Number of live bindings."""
+        return len(self._by_device)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every binding record, sorted by device id."""
+        return [
+            self.to_record(self._by_device[device_id])
+            for device_id in sorted(self._by_device)
+        ]
+
+    def apply_record(self, record: Record) -> Binding:
+        """Upsert one binding (restore / journal replay / clone)."""
+        binding = self.from_record(record)
+        self._by_device[binding.device_id] = binding
+        self._record_put(record)
+        return binding
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one binding by device id."""
+        existed = self._by_device.pop(key, None) is not None
+        if existed:
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one binding record (the fleet clone path)."""
+        binding = self._by_device.get(key)
+        return self.to_record(binding) if binding is not None else None

@@ -12,7 +12,9 @@ much detectability it buys against each attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.cloud.state.protocol import Record, RecordStoreBase
 
 
 @dataclass(frozen=True)
@@ -26,21 +28,36 @@ class UserEvent:
     detail: str = ""
 
 
-class EventFeed:
-    """Per-user inboxes with poll cursors."""
+class EventFeed(RecordStoreBase):
+    """Per-user inboxes with poll cursors.
+
+    The feed is durable — the whole point of the countermeasure is that
+    a victim eventually *sees* the notification, so a cloud restart must
+    not eat unread events.  Snapshots carry two record shapes: ``event``
+    records (zero-padded per-user index keeps snapshot order stable) and
+    ``cursor`` records (how far each user has polled).
+    """
+
+    state_name = "events"
 
     def __init__(self) -> None:
         self._inbox: Dict[str, List[UserEvent]] = {}
         self._cursor: Dict[str, int] = {}
 
     def emit(self, user_id: str, event: UserEvent) -> None:
-        self._inbox.setdefault(user_id, []).append(event)
+        """Append one notification to the user's inbox (journaled)."""
+        inbox = self._inbox.setdefault(user_id, [])
+        index = len(inbox)
+        inbox.append(event)
+        self._record_put(self._event_record(user_id, index, event))
 
     def poll(self, user_id: str) -> List[UserEvent]:
         """New events since the user's last poll."""
         events = self._inbox.get(user_id, [])
         start = self._cursor.get(user_id, 0)
         self._cursor[user_id] = len(events)
+        if len(events) != start:
+            self._record_put(self._cursor_record(user_id, len(events)))
         return events[start:]
 
     def all_events(self, user_id: str) -> List[UserEvent]:
@@ -48,3 +65,103 @@ class EventFeed:
 
     def count(self, user_id: str) -> int:
         return len(self._inbox.get(user_id, []))
+
+    # -- StateStore protocol --------------------------------------------------
+
+    @staticmethod
+    def _event_record(user_id: str, index: int, event: UserEvent) -> Record:
+        """One inbox entry as a record (index keeps delivery order)."""
+        return {
+            "type": "event",
+            "user_id": user_id,
+            "index": index,
+            "time": event.time,
+            "kind": event.kind,
+            "device_id": event.device_id,
+            "detail": event.detail,
+        }
+
+    @staticmethod
+    def _cursor_record(user_id: str, position: int) -> Record:
+        """One poll cursor as a record."""
+        return {"type": "cursor", "user_id": user_id, "position": position}
+
+    def to_record(self, obj: Record) -> Record:
+        """Records pass through unchanged (two shapes: event, cursor)."""
+        return dict(obj)
+
+    def from_record(self, record: Record) -> Record:
+        """Records decode to themselves; :meth:`apply_record` interprets."""
+        return dict(record)
+
+    def record_key(self, record: Record) -> str:
+        """``event:<user>:<zero-padded index>`` or ``cursor:<user>``."""
+        if record.get("type") == "cursor":
+            return f"cursor:{record['user_id']}"
+        return f"event:{record['user_id']}:{record['index']:08d}"
+
+    def record_count(self) -> int:
+        """Inbox entries plus poll cursors."""
+        return sum(len(inbox) for inbox in self._inbox.values()) + len(self._cursor)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every event and cursor record, sorted by record key."""
+        records: List[Record] = [
+            self._event_record(user_id, index, event)
+            for user_id, inbox in self._inbox.items()
+            for index, event in enumerate(inbox)
+        ]
+        records.extend(
+            self._cursor_record(user_id, position)
+            for user_id, position in self._cursor.items()
+        )
+        return sorted(records, key=self.record_key)
+
+    def apply_record(self, record: Record) -> Record:
+        """Apply one event or cursor record (restore / replay / clone)."""
+        if record.get("type") == "cursor":
+            self._cursor[record["user_id"]] = record["position"]
+        else:
+            inbox = self._inbox.setdefault(record["user_id"], [])
+            index = record["index"]
+            event = UserEvent(
+                record["time"], record["kind"], record["device_id"],
+                record.get("detail", ""),
+            )
+            if index == len(inbox):
+                inbox.append(event)
+            elif 0 <= index < len(inbox):
+                inbox[index] = event
+            else:  # replay can't leave holes; indexes arrive in order
+                inbox.append(event)
+        self._record_put(record)
+        return record
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one cursor (event entries are append-only)."""
+        if key.startswith("cursor:"):
+            user_id = key[len("cursor:"):]
+            existed = self._cursor.pop(user_id, None) is not None
+            if existed:
+                self._record_del(key)
+            return existed
+        return False
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1)-ish lookup of one event or cursor record by key."""
+        if key.startswith("cursor:"):
+            user_id = key[len("cursor:"):]
+            position = self._cursor.get(user_id)
+            if position is None:
+                return None
+            return self._cursor_record(user_id, position)
+        if key.startswith("event:"):
+            user_id, _, index_text = key[len("event:"):].rpartition(":")
+            try:
+                index = int(index_text)
+            except ValueError:
+                return None
+            inbox = self._inbox.get(user_id, [])
+            if 0 <= index < len(inbox):
+                return self._event_record(user_id, index, inbox[index])
+        return None

@@ -29,17 +29,21 @@ from repro.core.errors import (
     UnknownDevice,
 )
 from repro.core.messages import (
+    BindingInfoRequest,
     BindMessage,
     BindTokenRequest,
     ControlMessage,
     DeviceFetch,
     DevTokenRequest,
+    EventPollRequest,
     LoginRequest,
     LoginResponse,
     Message,
     QueryRequest,
     Response,
     ScheduleUpdate,
+    ShareRequest,
+    ShareRevoke,
     StatusMessage,
     TokenResponse,
     UnbindMessage,
@@ -279,8 +283,10 @@ class EndpointHandlers:
         svc.tokens.revoke(record.token)  # single use
         user = record.subject
         post_token = svc.tokens.issue(TokenKind.POST_BINDING, f"{device_id}:{user}", svc.now)
-        binding = svc.bindings.create(device_id, user, svc.now, post_token=post_token)
-        binding.device_confirmed = True  # the device itself just proved presence
+        svc.bindings.create(device_id, user, svc.now, post_token=post_token)
+        # The device itself just proved presence: confirm through the
+        # store so the flip is journaled like any other mutation.
+        svc.bindings.confirm_device(device_id, post_token)
         shadow.mark_bound(user, svc.now)
         return Response(payload={"bound_user": user, "post_binding_token": post_token})
 
@@ -390,7 +396,7 @@ class EndpointHandlers:
         )
         return Response(payload={"queued": message.command})
 
-    def handle_event_poll(self, packet: Packet, message) -> Response:
+    def handle_event_poll(self, packet: Packet, message: EventPollRequest) -> Response:
         """Drain the requesting user's notification inbox."""
         svc = self.service
         user = svc.accounts.require_user(message.user_token)
@@ -403,7 +409,7 @@ class EndpointHandlers:
             ],
         })
 
-    def handle_binding_info(self, packet: Packet, message) -> Response:
+    def handle_binding_info(self, packet: Packet, message: BindingInfoRequest) -> Response:
         """Return the requester's own binding metadata (incl. the
         post-binding token — the user's half, Section IV-B)."""
         svc = self.service
@@ -417,7 +423,7 @@ class EndpointHandlers:
             payload["post_binding_token"] = binding.post_token
         return Response(payload=payload)
 
-    def handle_share(self, packet: Packet, message) -> Response:
+    def handle_share(self, packet: Packet, message: ShareRequest) -> Response:
         """Owner grants another account access (many-to-one binding)."""
         svc = self.service
         user, _binding = self._require_bound_user(message.user_token, message.device_id)
@@ -426,7 +432,7 @@ class EndpointHandlers:
         svc.shares.grant(message.device_id, user, message.grantee, svc.now)
         return Response(payload={"shared_with": message.grantee})
 
-    def handle_share_revoke(self, packet: Packet, message) -> Response:
+    def handle_share_revoke(self, packet: Packet, message: ShareRevoke) -> Response:
         """Withdraw a share grant (owner only)."""
         svc = self.service
         self._require_bound_user(message.user_token, message.device_id)
@@ -468,7 +474,9 @@ class EndpointHandlers:
         )
         binding = svc.bindings.get(device_id)
         if binding is not None and message.post_binding_token is not None:
-            binding.confirm_device(message.post_binding_token)
+            # Through the store, not the dataclass, so the confirmation
+            # flip reaches an attached journal.
+            svc.bindings.confirm_device(device_id, message.post_binding_token)
         commands = svc.relay.drain_commands(device_id)
         payload = {
             "commands": [

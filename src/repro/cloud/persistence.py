@@ -1,17 +1,20 @@
-"""Cloud state persistence: snapshot and restore.
+"""Cloud state persistence: snapshot and restore (now snapshot v2).
 
 A production IoT cloud restarts without dropping its customers'
-bindings; this module gives the simulated cloud the same property.  A
-snapshot is a plain JSON-able dict covering accounts, the device
-registry (including live DevTokens), bindings, shares, shadows and the
-relay's durable state (schedules — queued commands and telemetry are
-deliberately volatile, like any in-memory queue).
+bindings; this module gives the simulated cloud the same property.
+Since the unified state layer landed, the heavy lifting lives in
+:mod:`repro.cloud.state.snapshot`: every durable store serializes its
+own records under its ``state_name`` section, and this module keeps the
+stable ``snapshot`` / ``snapshot_json`` / ``restore`` entry points the
+tests and experiments already use.  v1 snapshots (the hand-enumerated
+format this module used to produce) still load through the migration
+shim.
 
-The interesting consequence for the paper's model: a cloud restart is a
-*mass offline event* — every shadow that was online drops to its
-offline state (Figure 2's timeout arcs), and devices re-enter via their
-next heartbeat.  ``tests/test_cloud_persistence.py`` verifies that the
-restart is invisible to bound users apart from that blip.
+The interesting consequence for the paper's model is unchanged: a cloud
+restart is a *mass offline event* — every shadow that was online drops
+to its offline state (Figure 2's timeout arcs), and devices re-enter
+via their next heartbeat.  ``tests/test_cloud_persistence.py`` verifies
+that the restart is invisible to bound users apart from that blip.
 """
 
 from __future__ import annotations
@@ -20,128 +23,30 @@ import json
 from typing import Any, Dict
 
 from repro.cloud.service import CloudService
-from repro.core.errors import ConfigurationError
+from repro.cloud.state.snapshot import SNAPSHOT_VERSION, build_snapshot, load_snapshot
 
-SNAPSHOT_VERSION = 1
+__all__ = ["SNAPSHOT_VERSION", "snapshot", "snapshot_json", "restore"]
 
 
 def snapshot(cloud: CloudService) -> Dict[str, Any]:
-    """Serialize the cloud's durable state."""
-    return {
-        "version": SNAPSHOT_VERSION,
-        "design": cloud.design.name,
-        "time": cloud.now,
-        "accounts": [
-            {
-                "user_id": account.user_id,
-                "salt": account.salt,
-                "password_digest": account.password_digest,
-                "created_at": account.created_at,
-            }
-            for account in cloud.accounts._accounts.values()
-        ],
-        "tokens": cloud.tokens.export_records(),
-        "devices": [
-            {
-                "device_id": record.device_id,
-                "model": record.model,
-                "dev_token": record.dev_token,
-                "dev_token_requested_by": record.dev_token_requested_by,
-                # Public keys persist like any registry column.  (The
-                # simulated "public key" carries the HMAC material, see
-                # repro.identity.keys — a real cloud would store the
-                # actual public key here.)
-                "public_key": (
-                    {"key_id": record.public_key.key_id,
-                     "material": record.public_key._secret.decode("ascii")}
-                    if record.public_key is not None
-                    else None
-                ),
-            }
-            for record in cloud.registry._devices.values()
-        ],
-        "bindings": [
-            {
-                "device_id": binding.device_id,
-                "user_id": binding.user_id,
-                "created_at": binding.created_at,
-                "post_token": binding.post_token,
-                "device_confirmed": binding.device_confirmed,
-            }
-            for binding in cloud.bindings._by_device.values()
-        ],
-        "shares": [
-            {
-                "device_id": grant.device_id,
-                "owner": grant.owner,
-                "grantee": grant.grantee,
-                "granted_at": grant.granted_at,
-            }
-            for grants in cloud.shares._by_device.values()
-            for grant in grants.values()
-        ],
-        "schedules": {
-            device_id: dict(schedule)
-            for device_id, schedule in cloud.relay._schedules.items()
-        },
-    }
+    """Serialize the cloud's durable state (self-describing v2 dict)."""
+    return build_snapshot(cloud)
 
 
 def snapshot_json(cloud: CloudService) -> str:
-    """The snapshot as a JSON document (what would hit durable storage)."""
+    """The snapshot as a JSON document (what would hit durable storage).
+
+    Records are key-sorted by their stores and objects are serialized
+    with ``sort_keys``, so save -> load -> save is byte-identical.
+    """
     return json.dumps(snapshot(cloud), sort_keys=True)
 
 
 def restore(cloud: CloudService, data: Dict[str, Any]) -> None:
-    """Load a snapshot into a *fresh* cloud for the same vendor design.
+    """Load a (v1 or v2) snapshot into a *fresh* cloud of the same design.
 
     Shadows restart in their offline states (the restart killed every
     connection); bound shadows come back as ``bound``, everything else
     as ``initial``.  Devices re-authenticate on their next heartbeat.
     """
-    if data.get("version") != SNAPSHOT_VERSION:
-        raise ConfigurationError(f"unsupported snapshot version {data.get('version')!r}")
-    if data.get("design") != cloud.design.name:
-        raise ConfigurationError(
-            f"snapshot is for design {data.get('design')!r}, "
-            f"not {cloud.design.name!r}"
-        )
-    if cloud.accounts._accounts or cloud.bindings.count():
-        raise ConfigurationError("restore requires a fresh cloud instance")
-
-    from repro.cloud.accounts import Account
-
-    for item in data["accounts"]:
-        cloud.accounts._accounts[item["user_id"]] = Account(
-            item["user_id"], item["salt"], item["password_digest"], item["created_at"]
-        )
-    cloud.tokens.import_records(data["tokens"])
-    from repro.identity.keys import PublicKey
-
-    for item in data["devices"]:
-        public_key = None
-        if item.get("public_key"):
-            public_key = PublicKey(
-                item["public_key"]["key_id"],
-                item["public_key"]["material"].encode("ascii"),
-            )
-        record = cloud.registry.manufacture(
-            item["device_id"], item["model"], public_key
-        )
-        record.dev_token = item["dev_token"]
-        record.dev_token_requested_by = item["dev_token_requested_by"]
-        cloud.shadows.create(item["device_id"])
-    for item in data["bindings"]:
-        binding = cloud.bindings.create(
-            item["device_id"], item["user_id"], item["created_at"],
-            post_token=item["post_token"],
-        )
-        binding.device_confirmed = item["device_confirmed"]
-        shadow = cloud.shadows.get(item["device_id"])
-        shadow.mark_bound(item["user_id"], cloud.now)  # offline+bound = "bound"
-    for item in data["shares"]:
-        cloud.shares.grant(
-            item["device_id"], item["owner"], item["grantee"], item["granted_at"]
-        )
-    for device_id, schedule in data["schedules"].items():
-        cloud.relay.set_schedule(device_id, schedule)
+    load_snapshot(cloud, data)

@@ -10,8 +10,9 @@ real device out under DevToken designs (Section VI-B, device #3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
 from repro.core.errors import ConfigurationError, UnknownDevice
 from repro.identity.keys import PublicKey
 from repro.identity.tokens import TokenKind, TokenService
@@ -32,8 +33,10 @@ class DeviceRecord:
     dev_token_requested_by: Optional[str] = None
 
 
-class DeviceRegistry:
+class DeviceRegistry(RecordStoreBase):
     """Registered devices and their authentication material."""
+
+    state_name = "devices"
 
     def __init__(self, tokens: TokenService) -> None:
         self._tokens = tokens
@@ -49,6 +52,7 @@ class DeviceRegistry:
             raise ConfigurationError(f"device {device_id!r} already manufactured")
         record = DeviceRecord(device_id, model, public_key)
         self._devices[device_id] = record
+        self._record_put(self.to_record(record))
         return record
 
     def is_registered(self, device_id: Optional[str]) -> bool:
@@ -73,6 +77,7 @@ class DeviceRegistry:
         token = self._tokens.issue(TokenKind.DEVICE, device_id, now)
         record.dev_token = token
         record.dev_token_requested_by = requested_by
+        self._record_put(self.to_record(record))
         return token
 
     def rotate_for_new_binding(self, device_id: str, binding_user: str, now: float = 0.0) -> Optional[str]:
@@ -95,3 +100,70 @@ class DeviceRegistry:
         if record is None:
             return False
         return record.dev_token is not None and record.dev_token == dev_token
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: DeviceRecord) -> Record:
+        """One device record (public key serialized as id + material)."""
+        key = obj.public_key
+        return {
+            "device_id": obj.device_id,
+            "model": obj.model,
+            "public_key": (
+                {"key_id": key.key_id, "material": key._secret.decode("ascii")}
+                if key is not None
+                else None
+            ),
+            "dev_token": obj.dev_token,
+            "dev_token_requested_by": obj.dev_token_requested_by,
+        }
+
+    def from_record(self, record: Record) -> DeviceRecord:
+        """Decode one device record."""
+        key_data = record.get("public_key")
+        public_key = (
+            PublicKey(key_data["key_id"], key_data["material"].encode("ascii"))
+            if key_data is not None
+            else None
+        )
+        return DeviceRecord(
+            record["device_id"],
+            record["model"],
+            public_key,
+            dev_token=record.get("dev_token"),
+            dev_token_requested_by=record.get("dev_token_requested_by"),
+        )
+
+    def record_key(self, record: Record) -> str:
+        """Devices are keyed by device id."""
+        return record["device_id"]
+
+    def record_count(self) -> int:
+        """Number of manufactured devices."""
+        return len(self._devices)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every device record, sorted by device id."""
+        return [
+            self.to_record(self._devices[device_id])
+            for device_id in sorted(self._devices)
+        ]
+
+    def apply_record(self, record: Record) -> DeviceRecord:
+        """Upsert one device record (restore / journal replay / clone)."""
+        device = self.from_record(record)
+        self._devices[device.device_id] = device
+        self._record_put(record)
+        return device
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one device by device id."""
+        existed = self._devices.pop(key, None) is not None
+        if existed:
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one device record."""
+        record = self._devices.get(key)
+        return self.to_record(record) if record is not None else None

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
+
 
 @dataclass(frozen=True)
 class QueuedCommand:
@@ -40,8 +42,17 @@ class TelemetryRecord:
     reported_by_connection: str
 
 
-class Relay:
-    """Per-device mailboxes for both directions of the data plane."""
+class Relay(RecordStoreBase):
+    """Per-device mailboxes for both directions of the data plane.
+
+    As a :class:`~repro.cloud.state.protocol.StateStore` the relay
+    persists **schedules only**: command queues and latest telemetry are
+    in-flight data that a restart legitimately drops (the device re-polls
+    and re-reports), while a schedule is durable configuration the user
+    expects to survive — exactly the split v1 snapshots already made.
+    """
+
+    state_name = "relay"
 
     def __init__(self) -> None:
         self._commands: Dict[str, List[QueuedCommand]] = {}
@@ -52,6 +63,7 @@ class Relay:
 
     def queue_command(self, device_id: str, command: QueuedCommand) -> None:
         self._commands.setdefault(device_id, []).append(command)
+        self._note_mutation()
 
     def drain_commands(self, device_id: str) -> List[QueuedCommand]:
         """Hand all pending commands to the polling device and clear them."""
@@ -62,12 +74,14 @@ class Relay:
 
     def set_schedule(self, device_id: str, schedule: Mapping[str, Any]) -> None:
         self._schedules[device_id] = dict(schedule)
+        self._record_put({"device_id": device_id, "schedule": dict(schedule)})
 
     def schedule_of(self, device_id: str) -> Optional[Mapping[str, Any]]:
         return self._schedules.get(device_id)
 
     def clear_schedule(self, device_id: str) -> None:
-        self._schedules.pop(device_id, None)
+        if self._schedules.pop(device_id, None) is not None:
+            self._record_del(device_id)
 
     # -- upstream: device -> user ----------------------------------------------
 
@@ -76,6 +90,7 @@ class Relay:
     ) -> None:
         if data:
             self._telemetry[device_id] = TelemetryRecord(dict(data), now, connection)
+            self._note_mutation()
 
     def telemetry_of(self, device_id: str) -> Optional[TelemetryRecord]:
         return self._telemetry.get(device_id)
@@ -83,5 +98,54 @@ class Relay:
     def forget_device(self, device_id: str) -> None:
         """Drop all relay state for a device (unbinding cleanup)."""
         self._commands.pop(device_id, None)
-        self._schedules.pop(device_id, None)
+        had_schedule = self._schedules.pop(device_id, None) is not None
         self._telemetry.pop(device_id, None)
+        if had_schedule:
+            self._record_del(device_id)
+        else:
+            self._note_mutation()
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: Any) -> Record:
+        """One ``(device_id, schedule)`` pair as a record."""
+        device_id, schedule = obj
+        return {"device_id": device_id, "schedule": dict(schedule)}
+
+    def from_record(self, record: Record) -> Any:
+        """Decode one schedule record back to a ``(device_id, schedule)`` pair."""
+        return (record["device_id"], dict(record["schedule"]))
+
+    def record_key(self, record: Record) -> str:
+        """Schedules are keyed by device id."""
+        return record["device_id"]
+
+    def record_count(self) -> int:
+        """Number of stored schedules (queues/telemetry are volatile)."""
+        return len(self._schedules)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every schedule record, sorted by device id."""
+        return [
+            self.to_record((device_id, self._schedules[device_id]))
+            for device_id in sorted(self._schedules)
+        ]
+
+    def apply_record(self, record: Record) -> Any:
+        """Upsert one schedule (restore / journal replay / clone)."""
+        device_id, schedule = self.from_record(record)
+        self._schedules[device_id] = schedule
+        self._record_put(record)
+        return (device_id, schedule)
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one schedule by device id."""
+        existed = self._schedules.pop(key, None) is not None
+        if existed:
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one schedule record."""
+        schedule = self._schedules.get(key)
+        return self.to_record((key, schedule)) if schedule is not None else None

@@ -10,7 +10,7 @@ transitions).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.cloud.accounts import AccountStore
 from repro.cloud.audit import AuditLog
@@ -22,6 +22,10 @@ from repro.cloud.events import EventFeed, UserEvent
 from repro.cloud.relay import Relay
 from repro.cloud.shadows import ShadowStore
 from repro.cloud.sharing import ShareStore
+from repro.cloud.state.backends import StateBackend
+from repro.cloud.state.journal import meta_entry
+from repro.cloud.state.protocol import StateStore
+from repro.cloud.state.snapshot import load_snapshot
 from repro.core.errors import ProtocolError, RequestRejected
 from repro.core.messages import (
     BindingInfoRequest,
@@ -52,10 +56,6 @@ from repro.sim.environment import Environment
 
 class CloudService:
     """A vendor's IoT cloud on the simulated internet."""
-
-    #: class-level fallback so instances built without ``__init__``
-    #: (e.g. the persistence tests' restart path) stay uninstrumented
-    _observer = NULL_OBSERVER
 
     def __init__(
         self,
@@ -88,6 +88,8 @@ class CloudService:
         self.events = EventFeed()
         self._handlers = EndpointHandlers(self)
         self._sweep_handle = None
+        self._sweep_active = False
+        self._journal_backend: Optional[StateBackend] = None
         network.add_internet_node(node_name, self.handle_packet, public_ip)
         self.start_liveness_sweep()
 
@@ -102,8 +104,11 @@ class CloudService:
         if self._sweep_handle is not None:
             return
         interval = self.design.heartbeat_interval
+        self._sweep_active = True
 
         def sweep() -> None:
+            if not self._sweep_active:
+                return
             expired = self.shadows.sweep_offline(self.now, self.design.offline_timeout)
             for device_id in expired:
                 self.audit.record(
@@ -115,6 +120,104 @@ class CloudService:
                                 "heartbeats stopped")
 
         self._sweep_handle = self.env.every(interval, sweep)
+
+    def shutdown(self) -> None:
+        """Take this cloud off the air (simulated restart/crash).
+
+        Silences the liveness sweep (the scheduler idiom: cancel the
+        pending handle and flag the chain inert), detaches the journal,
+        and removes the node so a successor cloud can claim the name.
+        """
+        self._sweep_active = False
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
+        self.detach_journal()
+        if self.network.has_node(self.node_name):
+            self.network.remove_node(self.node_name)
+
+    @classmethod
+    def restore(
+        cls,
+        env: Environment,
+        network: Network,
+        design: VendorDesign,
+        data: Dict[str, Any],
+        node_name: str = "cloud",
+        public_ip: str = "52.0.0.1",
+    ) -> "CloudService":
+        """Build a cloud from a snapshot, through the real constructor.
+
+        Replaces the old ``CloudService.__new__`` restart hack: the
+        successor is wired exactly like any other cloud (handlers, sweep,
+        observer) and then loads the (v1 or v2) snapshot *data*.  Any
+        previous holder of *node_name* must have been :meth:`shutdown`
+        first; a leftover node of that name is replaced.
+        """
+        if network.has_node(node_name):
+            network.remove_node(node_name)
+        cloud = cls(env, network, design, node_name, public_ip)
+        load_snapshot(cloud, data)
+        return cloud
+
+    # -- the unified state layer ---------------------------------------------
+
+    def state_stores(self) -> Dict[str, StateStore]:
+        """Every state store, keyed by section name, in restore order.
+
+        Order matters on restore/replay: accounts and tokens come back
+        before the stores whose checks may consult them.  The shadow
+        store is listed (gauges, clones) but is volatile — snapshots and
+        journals skip it.
+        """
+        return {
+            "accounts": self.accounts,
+            "tokens": self.tokens,
+            "devices": self.registry,
+            "bindings": self.bindings,
+            "shares": self.shares,
+            "shadows": self.shadows,
+            "relay": self.relay,
+            "events": self.events,
+        }
+
+    def state_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-store ``{records, mutations}`` numbers (metrics/reports)."""
+        return {
+            name: store.merge_counts() for name, store in self.state_stores().items()
+        }
+
+    def emit_state_gauges(self) -> None:
+        """Publish per-store size and churn through the observer seam."""
+        for name, counts in self.state_counts().items():
+            self._observer.gauge(f"cloud.state.{name}.records", counts["records"])
+            self._observer.count(
+                "cloud.state.mutations", counts["mutations"], store=name
+            )
+
+    def attach_journal(self, backend: StateBackend, write_meta: bool = True) -> None:
+        """Route every durable store mutation into *backend*.
+
+        A fresh (empty) backend gets the self-describing ``_meta`` header
+        first; recovery re-attaches with ``write_meta=False`` because the
+        surviving journal already carries one.
+        """
+        self._journal_backend = backend
+        if write_meta and backend.entry_count() == 0:
+            backend.append(meta_entry(self.design.name))
+        for store in self.state_stores().values():
+            store.bind_journal(backend.append)
+
+    def detach_journal(self) -> None:
+        """Stop journaling (the backend keeps its entries)."""
+        self._journal_backend = None
+        for store in self.state_stores().values():
+            store.bind_journal(None)
+
+    @property
+    def journal_backend(self) -> Optional[StateBackend]:
+        """The attached journal backend, if any."""
+        return self._journal_backend
 
     # -- vendor-side provisioning ------------------------------------------------
 

@@ -8,11 +8,13 @@ liveness sweep that moves shadows offline when heartbeats stop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Dict, List, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
 from repro.core.errors import UnknownDevice
 from repro.core.shadow import DeviceShadow, TransitionRecord
 from repro.net.address import IpAddress
+from repro.obs.observer import Observer
 
 
 @dataclass
@@ -23,7 +25,7 @@ class RegistrationMark:
     source_ip: IpAddress
 
 
-class ShadowStore:
+class ShadowStore(RecordStoreBase):
     """All device shadows plus registration bookkeeping.
 
     When built with an *observer*, every shadow created here reports its
@@ -31,9 +33,18 @@ class ShadowStore:
     :meth:`~repro.obs.observer.Observer.on_shadow_transition`;
     uninstrumented stores leave the per-shadow hook unset, so the state
     machine's hot path stays untouched.
+
+    The store is **volatile** (``durable = False``): shadows are a
+    projection of the registry plus the binding table, and a restart is
+    a mass offline event, so snapshots and journals never carry them —
+    :func:`~repro.cloud.state.snapshot.rebuild_shadow_projection`
+    recreates them instead.
     """
 
-    def __init__(self, observer: Optional[Any] = None) -> None:
+    state_name = "shadows"
+    durable = False
+
+    def __init__(self, observer: Optional[Observer] = None) -> None:
         self._shadows: Dict[str, DeviceShadow] = {}
         self._registrations: Dict[str, RegistrationMark] = {}
         self._observer = observer
@@ -44,6 +55,7 @@ class ShadowStore:
         if self._observer is not None:
             shadow.on_transition = self._emit_transition
         self._shadows[device_id] = shadow
+        self._note_mutation()
         return shadow
 
     def _emit_transition(self, shadow: DeviceShadow, record: TransitionRecord) -> None:
@@ -72,6 +84,7 @@ class ShadowStore:
 
     def mark_registration(self, device_id: str, time: float, source_ip: IpAddress) -> None:
         self._registrations[device_id] = RegistrationMark(time, source_ip)
+        self._note_mutation()
 
     def registration_of(self, device_id: str) -> Optional[RegistrationMark]:
         return self._registrations.get(device_id)
@@ -91,4 +104,95 @@ class ShadowStore:
             if shadow.last_seen is None or now - shadow.last_seen > timeout:
                 shadow.mark_offline(now)
                 expired.append(device_id)
+        if expired:
+            self._note_mutation()
         return expired
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: DeviceShadow) -> Record:
+        """One shadow as a replayable record (events, not raw state)."""
+        registration = self._registrations.get(obj.device_id)
+        return {
+            "device_id": obj.device_id,
+            "online": obj.is_online,
+            "bound_user": obj.bound_user,
+            "time": obj.last_seen if obj.last_seen is not None else 0.0,
+            "connection_id": obj.connection_id,
+            "reported_model": obj.reported_model,
+            "reported_firmware": obj.reported_firmware,
+            "registration": (
+                {"time": registration.time, "source_ip": str(registration.source_ip)}
+                if registration is not None
+                else None
+            ),
+        }
+
+    def from_record(self, record: Record) -> DeviceShadow:
+        """Decode one shadow by replaying its canonical events.
+
+        The record names the *facts* (online, bound user, marks), and the
+        decode replays them through the Figure 2 machine — so a cloned
+        shadow has real history and fires the same observer transitions a
+        live binding flow would.
+        """
+        shadow = DeviceShadow(record["device_id"])
+        self._replay(shadow, record)
+        return shadow
+
+    def _replay(self, shadow: DeviceShadow, record: Record) -> None:
+        """Apply a record's facts to *shadow* in canonical event order."""
+        time = record.get("time", 0.0)
+        if record.get("online"):
+            shadow.mark_status(time, connection_id=record.get("connection_id"))
+        shadow.reported_model = record.get("reported_model", "")
+        shadow.reported_firmware = record.get("reported_firmware", "")
+        if record.get("bound_user") is not None:
+            shadow.mark_bound(record["bound_user"], time)
+
+    def record_key(self, record: Record) -> str:
+        """Shadows are keyed by device id."""
+        return record["device_id"]
+
+    def record_count(self) -> int:
+        """Number of live shadows."""
+        return len(self._shadows)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every shadow record, sorted by device id (diagnostics only)."""
+        return [
+            self.to_record(self._shadows[device_id])
+            for device_id in sorted(self._shadows)
+        ]
+
+    def apply_record(self, record: Record) -> DeviceShadow:
+        """Rebuild one shadow from a record, replaying its events.
+
+        The shadow is recreated through :meth:`create` so the observer
+        hook is wired before any transition fires — a clone emits the
+        same ``on_shadow_transition`` sequence a live flow would.
+        """
+        shadow = self.create(record["device_id"])
+        self._replay(shadow, record)
+        registration = record.get("registration")
+        if registration is not None:
+            self.mark_registration(
+                record["device_id"],
+                registration["time"],
+                IpAddress(registration["source_ip"]),
+            )
+        self._record_put(record)
+        return shadow
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one shadow (and its registration mark) by device id."""
+        existed = self._shadows.pop(key, None) is not None
+        self._registrations.pop(key, None)
+        if existed:
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one shadow record (the fleet clone path)."""
+        shadow = self._shadows.get(key)
+        return self.to_record(shadow) if shadow is not None else None

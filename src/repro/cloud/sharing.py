@@ -12,8 +12,9 @@ binding, so the A3/A4 analyses carry over unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.cloud.state.protocol import Record, RecordStoreBase
 from repro.core.errors import BindingConflict
 
 
@@ -27,8 +28,10 @@ class ShareGrant:
     granted_at: float
 
 
-class ShareStore:
+class ShareStore(RecordStoreBase):
     """Grants indexed by device."""
+
+    state_name = "shares"
 
     def __init__(self) -> None:
         self._by_device: Dict[str, Dict[str, ShareGrant]] = {}
@@ -42,15 +45,22 @@ class ShareStore:
             raise BindingConflict("already-shared", f"{grantee!r} already has access")
         record = ShareGrant(device_id, owner, grantee, now)
         grants[grantee] = record
+        self._record_put(self.to_record(record))
         return record
 
     def revoke(self, device_id: str, grantee: str) -> bool:
+        """Withdraw one grant; returns whether it existed."""
         grants = self._by_device.get(device_id, {})
-        return grants.pop(grantee, None) is not None
+        revoked = grants.pop(grantee, None) is not None
+        if revoked:
+            self._record_del(f"{device_id}:{grantee}")
+        return revoked
 
     def revoke_all(self, device_id: str) -> int:
         """Binding teardown: every grant dies with the binding."""
         grants = self._by_device.pop(device_id, {})
+        for grantee in grants:
+            self._record_del(f"{device_id}:{grantee}")
         return len(grants)
 
     def is_granted(self, device_id: str, user: str) -> bool:
@@ -65,3 +75,63 @@ class ShareStore:
             for device_id, grants in self._by_device.items()
             if user in grants
         )
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: ShareGrant) -> Record:
+        """One grant as a snapshot/journal record."""
+        return {
+            "device_id": obj.device_id,
+            "owner": obj.owner,
+            "grantee": obj.grantee,
+            "granted_at": obj.granted_at,
+        }
+
+    def from_record(self, record: Record) -> ShareGrant:
+        """Decode one grant record."""
+        return ShareGrant(
+            record["device_id"],
+            record["owner"],
+            record["grantee"],
+            record["granted_at"],
+        )
+
+    def record_key(self, record: Record) -> str:
+        """Grants are keyed by ``device:grantee`` (one grant per pair)."""
+        return f"{record['device_id']}:{record['grantee']}"
+
+    def record_count(self) -> int:
+        """Total live grants across all devices."""
+        return sum(len(grants) for grants in self._by_device.values())
+
+    def snapshot_state(self) -> List[Record]:
+        """Every grant record, sorted by (device id, grantee)."""
+        return [
+            self.to_record(self._by_device[device_id][grantee])
+            for device_id in sorted(self._by_device)
+            for grantee in sorted(self._by_device[device_id])
+        ]
+
+    def apply_record(self, record: Record) -> ShareGrant:
+        """Upsert one grant (restore / journal replay / clone)."""
+        grant = self.from_record(record)
+        self._by_device.setdefault(grant.device_id, {})[grant.grantee] = grant
+        self._record_put(record)
+        return grant
+
+    def discard_record(self, key: str) -> bool:
+        """Remove one grant by its ``device:grantee`` key."""
+        device_id, _, grantee = key.partition(":")
+        grants = self._by_device.get(device_id, {})
+        existed = grants.pop(grantee, None) is not None
+        if existed:
+            if not grants:
+                self._by_device.pop(device_id, None)
+            self._record_del(key)
+        return existed
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one grant record by ``device:grantee``."""
+        device_id, _, grantee = key.partition(":")
+        grant = self._by_device.get(device_id, {}).get(grantee)
+        return self.to_record(grant) if grant is not None else None

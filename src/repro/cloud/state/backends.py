@@ -1,0 +1,200 @@
+"""Pluggable state backends: in-memory entries and a JSON-lines journal.
+
+A backend is the durability medium behind the unified state layer.  It
+receives one JSON-able entry per durable store mutation (full-record
+upserts and key deletes, see
+:class:`~repro.cloud.state.protocol.RecordStoreBase`) and can replay
+them later.  Two implementations:
+
+* :class:`MemoryBackend` — the current-default dict/list behaviour:
+  entries accumulate in process memory.  Cheap, no encoding, gone on
+  process exit — exactly what an uninstrumented simulation wants.
+* :class:`JournalBackend` — an append-only JSON-lines write-ahead log
+  (one entry per line, ``sort_keys`` canonical form), optionally backed
+  by a file.  It supports *fault injection* — a torn final write via
+  :meth:`JournalBackend.crash_mid_write` or a scheduled
+  ``fail_after_appends`` crash — and *tolerant replay*: a truncated or
+  partial tail is detected, counted and skipped, while corruption
+  anywhere else is an error.  ``repro.cloud.state.journal`` rebuilds a
+  whole cloud from the surviving prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.cloud.state.protocol import Record
+from repro.core.errors import ConfigurationError, SimulationError
+
+
+class JournalCrash(SimulationError):
+    """Raised by an injected mid-write crash (the torn-write fault)."""
+
+
+class StateBackend:
+    """Base interface every state backend implements."""
+
+    def append(self, entry: Record) -> None:
+        """Durably record one journal entry."""
+        raise NotImplementedError
+
+    def entries(self) -> List[Record]:
+        """Replay every decodable entry, oldest first."""
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        """How many entries :meth:`entries` would return."""
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        """Encoded size of the backend's contents (0 when unencoded)."""
+        return 0
+
+    def clear(self) -> None:
+        """Drop every entry (test/bench reset)."""
+        raise NotImplementedError
+
+
+class MemoryBackend(StateBackend):
+    """Entries kept as live dicts in a list — the in-memory default."""
+
+    def __init__(self) -> None:
+        self._entries: List[Record] = []
+
+    def append(self, entry: Record) -> None:
+        """Store a defensive JSON-roundtrip copy of *entry*."""
+        self._entries.append(json.loads(json.dumps(entry)))
+
+    def entries(self) -> List[Record]:
+        """A shallow copy of the recorded entries, oldest first."""
+        return list(self._entries)
+
+    def entry_count(self) -> int:
+        """Number of recorded entries (no decoding needed)."""
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Forget everything."""
+        self._entries = []
+
+
+class JournalBackend(StateBackend):
+    """Append-only JSON-lines WAL with crash fault injection.
+
+    With ``path=None`` the journal lives in an in-process text buffer
+    (handy for tests and benchmarks); with a path every append is
+    written through to the file, so a *new* :class:`JournalBackend` on
+    the same path models a post-crash process recovering from disk.
+
+    Fault injection:
+
+    * ``fail_after_appends=N`` — the Nth append writes only a prefix of
+      its line (a torn sector) and raises :class:`JournalCrash`;
+    * :meth:`crash_mid_write` — retroactively tear the final line, as a
+      power cut mid-``write()`` would.
+
+    Replay (:meth:`entries`) decodes line by line.  An undecodable
+    *final* line is the torn tail: it is dropped, and
+    :attr:`torn_tail` / :attr:`dropped_bytes` report the damage.  An
+    undecodable line anywhere earlier means real corruption and raises
+    :class:`~repro.core.errors.ConfigurationError`.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, fail_after_appends: Optional[int] = None
+    ) -> None:
+        self.path = path
+        self.fail_after_appends = fail_after_appends
+        self._appends = 0
+        self._buffer = ""
+        #: Set by the latest :meth:`entries` call: was a torn tail seen?
+        self.torn_tail = False
+        #: Bytes discarded from the torn tail by the latest replay.
+        self.dropped_bytes = 0
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                self._buffer = handle.read()
+
+    # -- writing ------------------------------------------------------------
+
+    def _write_through(self, text: str) -> None:
+        """Append raw *text* to the buffer (and the backing file)."""
+        self._buffer += text
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(text)
+
+    def append(self, entry: Record) -> None:
+        """Append one canonical JSON line (honouring injected faults)."""
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        self._appends += 1
+        if (
+            self.fail_after_appends is not None
+            and self._appends >= self.fail_after_appends
+        ):
+            # The torn write: half the line reaches the medium, then the
+            # process dies.  Keep at least one byte so the tail is
+            # visibly partial rather than silently absent.
+            torn = line[: max(1, len(line) // 2)]
+            self._write_through(torn)
+            raise JournalCrash(
+                f"injected crash during journal append #{self._appends}"
+            )
+        self._write_through(line)
+
+    def crash_mid_write(self, keep_fraction: float = 0.5) -> None:
+        """Retroactively tear the final line (simulated power cut).
+
+        Truncates the journal so only ``keep_fraction`` of the last
+        line's bytes survive, exactly as if the process had died while
+        the final ``write()`` was in flight.
+        """
+        if not self._buffer:
+            return
+        body = self._buffer[:-1] if self._buffer.endswith("\n") else self._buffer
+        cut = body.rfind("\n") + 1  # start of the final line
+        last_line = self._buffer[cut:]
+        kept = last_line[: max(1, int(len(last_line) * keep_fraction))]
+        if kept.endswith("\n"):
+            kept = kept[:-1]
+        self._buffer = self._buffer[:cut] + kept
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(self._buffer)
+
+    # -- reading ------------------------------------------------------------
+
+    def entries(self) -> List[Record]:
+        """Decode every line; tolerate (and account for) a torn tail."""
+        self.torn_tail = False
+        self.dropped_bytes = 0
+        decoded: List[Record] = []
+        lines = self._buffer.split("\n")
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                decoded.append(json.loads(line))
+            except ValueError:
+                if index >= len(lines) - 2:  # final (possibly unterminated) line
+                    self.torn_tail = True
+                    self.dropped_bytes = len(line.encode("utf-8"))
+                    break
+                raise ConfigurationError(
+                    f"journal corrupt at line {index + 1} (not at the tail)"
+                )
+        return decoded
+
+    def size_bytes(self) -> int:
+        """Encoded journal size in bytes."""
+        return len(self._buffer.encode("utf-8"))
+
+    def clear(self) -> None:
+        """Truncate the journal (buffer and backing file)."""
+        self._buffer = ""
+        self._appends = 0
+        if self.path is not None and os.path.exists(self.path):
+            with open(self.path, "w", encoding="utf-8"):
+                pass

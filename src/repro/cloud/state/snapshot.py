@@ -1,0 +1,144 @@
+"""Self-describing snapshot v2: every store contributes its own section.
+
+Snapshot v1 (the original ``cloud/persistence.py``) hand-enumerated
+every field of every store in one 120-line function — adding a store
+column meant editing the serializer, the deserializer and every test
+fixture in lockstep.  Version 2 is generic: the cloud asks each durable
+:class:`~repro.cloud.state.protocol.StateStore` for its records and
+stores them under the store's own ``state_name``::
+
+    {
+      "version": 2,
+      "design": "<vendor design name>",
+      "time":   <virtual seconds at capture>,
+      "stores": {
+        "accounts": [ {...}, ... ],
+        "tokens":   [ {...}, ... ],
+        "devices":  [ {...}, ... ],
+        "bindings": [ {...}, ... ],
+        "shares":   [ {...}, ... ],
+        "relay":    [ {...}, ... ],   # schedules only; queues are volatile
+        "events":   [ {...}, ... ]    # user inboxes + poll cursors
+      }
+    }
+
+Records are sorted by their store key and serialized with
+``sort_keys=True``, so ``save -> load -> save`` is byte-identical.
+
+The **shadow store is deliberately absent**: shadows are a projection
+of the registry and the binding table, and a cloud restart is a *mass
+offline event* (Figure 2's timeout arcs) — so :func:`load_snapshot`
+rebuilds every shadow in its offline state (``bound`` for bound
+devices, ``initial`` otherwise) and lets the next heartbeats bring the
+fleet back, exactly as v1 did.
+
+v1 snapshots still load: :func:`migrate_snapshot` lifts them to the v2
+shape (the ``schedules`` dict becomes ``relay`` records; the ``events``
+section, which v1 never captured, migrates empty).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.cloud.state.protocol import Record
+from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.service import CloudService
+
+#: Current snapshot schema version.
+SNAPSHOT_VERSION = 2
+
+
+def build_snapshot(cloud: "CloudService") -> Dict[str, Any]:
+    """Serialize the cloud's durable state as a self-describing v2 dict."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "design": cloud.design.name,
+        "time": cloud.now,
+        "stores": {
+            name: store.snapshot_state()
+            for name, store in cloud.state_stores().items()
+            if store.durable
+        },
+    }
+
+
+def migrate_snapshot(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a snapshot to the v2 shape (v2 passes through unchanged)."""
+    version = data.get("version")
+    if version == SNAPSHOT_VERSION:
+        return data
+    if version == 1:
+        schedules = data.get("schedules", {})
+        stores: Dict[str, List[Record]] = {
+            "accounts": list(data.get("accounts", [])),
+            "tokens": list(data.get("tokens", [])),
+            "devices": list(data.get("devices", [])),
+            "bindings": list(data.get("bindings", [])),
+            "shares": list(data.get("shares", [])),
+            "relay": [
+                {"device_id": device_id, "schedule": dict(schedule)}
+                for device_id, schedule in sorted(schedules.items())
+            ],
+            # v1 never captured notification feeds; they migrate empty.
+            "events": [],
+        }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "design": data.get("design"),
+            "time": data.get("time", 0.0),
+            "stores": stores,
+        }
+    raise ConfigurationError(f"unsupported snapshot version {version!r}")
+
+
+def rebuild_shadow_projection(cloud: "CloudService") -> None:
+    """Recreate every shadow, offline, from the registry and bindings.
+
+    The restart killed every connection, so shadows come back in their
+    offline states: ``bound`` where a binding exists, ``initial``
+    elsewhere.  Devices re-enter via their next heartbeat.
+    """
+    for device_id in cloud.registry.all_ids():
+        if not cloud.shadows.has(device_id):
+            cloud.shadows.create(device_id)
+    for record in cloud.bindings.snapshot_state():
+        shadow = cloud.shadows.get(record["device_id"])
+        if not shadow.is_bound:
+            shadow.mark_bound(record["user_id"], cloud.now)
+
+
+def load_snapshot(cloud: "CloudService", data: Dict[str, Any]) -> None:
+    """Load a (v1 or v2) snapshot into a *fresh* cloud of the same design."""
+    data = migrate_snapshot(data)
+    if data.get("design") != cloud.design.name:
+        raise ConfigurationError(
+            f"snapshot is for design {data.get('design')!r}, "
+            f"not {cloud.design.name!r}"
+        )
+    if cloud.accounts.record_count() or cloud.bindings.count():
+        raise ConfigurationError("restore requires a fresh cloud instance")
+    sections = data.get("stores", {})
+    stores = cloud.state_stores()
+    unknown = set(sections) - set(stores)
+    if unknown:
+        raise ConfigurationError(
+            f"snapshot carries unknown store sections {sorted(unknown)!r}"
+        )
+    # Restore order follows the service's store order (accounts before
+    # bindings, etc.); sections a snapshot omits simply restore empty.
+    for name, store in stores.items():
+        if not store.durable:
+            continue
+        store.restore_state(sections.get(name, []))
+    rebuild_shadow_projection(cloud)
+
+
+def snapshot_store_counts(data: Dict[str, Any]) -> Dict[str, int]:
+    """Per-section record counts of a (v1 or v2) snapshot dict."""
+    migrated = migrate_snapshot(data)
+    return {
+        name: len(records) for name, records in sorted(migrated["stores"].items())
+    }

@@ -173,14 +173,18 @@ class FleetDeployment:
         return household
 
     def _install_bound_state(self, household: Household, template: Household) -> None:
-        """Snapshot-install the post-Figure-1 state the template reached.
+        """Store-level clone of the post-Figure-1 state the template reached.
 
-        Everything the message flow would have produced is written
-        directly into the app, the device firmware and the cloud stores:
-        a live session token, Wi-Fi membership, device authentication
-        material (fresh per clone — tokens are never shared between
-        households), the binding with its post-binding token, and the
-        shadow transitions (1) then (4) into ``control``.
+        The app and firmware sides are written directly (a live session
+        token, Wi-Fi membership, fresh per-clone authentication material
+        — tokens are never shared between households); the *cloud* side
+        goes through the state layer: the template's binding and shadow
+        records are cloned per record via
+        :meth:`~repro.cloud.state.protocol.RecordStoreBase.clone_record`
+        with a transform that re-keys them to this household.  The
+        shadow store decodes its record by replaying events, so the
+        clone still takes real Figure 2 transitions (1) then (4) and
+        fires the same observer hooks the message flow would.
         """
         design, cloud, env = self.design, self.cloud, self.env
         app, device = household.app, household.device
@@ -206,25 +210,49 @@ class FleetDeployment:
             device.dev_token = cloud.registry.issue_dev_token(
                 device_id, household.user_id, now
             )
-        # Cloud side: shadow transitions (1) and (4), registration mark,
-        # then the binding itself.
-        shadow = cloud.shadows.get(device_id)
-        shadow.mark_status(now, connection_id=device.node_name)
-        shadow.reported_model = device.model
-        shadow.reported_firmware = device.firmware_version
-        lan = self.network.lan(household.lan_id)
-        cloud.shadows.mark_registration(device_id, now, lan.router.public_ip)
-        if t_binding is not None:
-            post_token = None
-            if t_binding.post_token is not None:
-                post_token = cloud.tokens.issue(
-                    TokenKind.POST_BINDING, f"{device_id}:{household.user_id}", now
-                )
-            binding = cloud.bindings.create(
-                device_id, household.user_id, now, post_token=post_token
+        # Fresh per-clone post-binding token, drawn in the same RNG order
+        # the replay flow uses (login, DevToken, then post token).
+        post_token: Optional[str] = None
+        if t_binding is not None and t_binding.post_token is not None:
+            post_token = cloud.tokens.issue(
+                TokenKind.POST_BINDING, f"{device_id}:{household.user_id}", now
             )
-            binding.device_confirmed = t_binding.device_confirmed
-            shadow.mark_bound(household.user_id, now)
+        lan = self.network.lan(household.lan_id)
+
+        if t_binding is not None:
+
+            def rekey_binding(record: dict) -> dict:
+                """Re-key the template binding to this household."""
+                record.update(
+                    device_id=device_id,
+                    user_id=household.user_id,
+                    created_at=now,
+                    post_token=post_token,
+                )
+                return record
+
+            cloud.bindings.clone_record(t_device.device_id, rekey_binding)
+
+        def rekey_shadow(record: dict) -> dict:
+            """Re-key the template shadow; replay re-takes (1) and (4)."""
+            record.update(
+                device_id=device_id,
+                time=now,
+                connection_id=device.node_name,
+                reported_model=device.model,
+                reported_firmware=device.firmware_version,
+            )
+            if record.get("bound_user") is not None:
+                record["bound_user"] = household.user_id
+            record["registration"] = {
+                "time": now,
+                "source_ip": str(lan.router.public_ip),
+            }
+            return record
+
+        cloud.shadows.clone_record(t_device.device_id, rekey_shadow)
+
+        if t_binding is not None:
             if t_device.post_binding_token is not None:
                 device.post_binding_token = post_token
             t_known = template.app.devices.get(t_device.device_id)

@@ -121,6 +121,23 @@ class Network:
     def set_handler(self, node: str, handler: Optional[Handler]) -> None:
         self._require(node).handler = handler
 
+    def has_node(self, name: str) -> bool:
+        """Whether *name* is a registered node."""
+        return name in self._nodes
+
+    def remove_node(self, name: str) -> None:
+        """Detach a node from the network (e.g. a cloud being restarted).
+
+        The node leaves its LAN first so the LAN's member set stays
+        consistent; a name that was never registered is a no-op.
+        """
+        entry = self._nodes.pop(name, None)
+        if entry is None:
+            return
+        if entry.lan_id is not None:
+            self._lans[entry.lan_id].leave(name)
+        self._proxies.pop(name, None)
+
     def lan(self, lan_id: str) -> Lan:
         return self._require_lan(lan_id)
 

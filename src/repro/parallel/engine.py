@@ -79,6 +79,9 @@ class ShardResult:
     audit_entries: int
     matches_audit: bool
     wall_seconds: float
+    #: per-store ``{records, mutations}`` from the shard cloud's state
+    #: layer (``CloudService.state_counts``), captured at shard end
+    state_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -109,6 +112,9 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         )
     else:
         raise ConfigurationError(f"unknown campaign {spec.campaign!r}")
+    # Publish per-store size/churn gauges before snapshotting metrics so
+    # the shard's state-layer numbers ride the normal merge path.
+    fleet.cloud.emit_state_gauges()
     return ShardResult(
         shard_index=spec.shard_index,
         seed=spec.seed,
@@ -118,6 +124,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         audit_entries=len(fleet.cloud.audit),
         matches_audit=obs.matches_audit(fleet.cloud.audit),
         wall_seconds=time.perf_counter() - started,
+        state_counts=fleet.cloud.state_counts(),
     )
 
 
@@ -156,6 +163,15 @@ class ShardedCampaignResult:
         merged_total = self.metrics.counter("cloud.audit.entries").total()
         return merged_total == self.audit_entries_total
 
+    @property
+    def state_counts(self) -> Dict[str, Dict[str, int]]:
+        """Fleet-wide per-store ``{records, mutations}`` (summed shards)."""
+        from repro.cloud.state.protocol import merge_state_counts
+
+        return merge_state_counts(
+            [result.state_counts for result in self.shard_results]
+        )
+
     def render(self) -> str:
         """Multi-line summary: merged report, shard table, consistency."""
         lines = [self.report.render(), ""]
@@ -177,6 +193,15 @@ class ShardedCampaignResult:
             f"{'consistent' if self.consistent else 'MISMATCH'} "
             f"({self.audit_entries_total} audit entries fleet-wide)"
         )
+        state = self.state_counts
+        if state:
+            lines.append(
+                "cloud state (records/mutations per store): "
+                + "  ".join(
+                    f"{name}={counts.get('records', 0)}/{counts.get('mutations', 0)}"
+                    for name, counts in sorted(state.items())
+                )
+            )
         return "\n".join(lines)
 
 

@@ -4,8 +4,7 @@ import json
 
 import pytest
 
-from repro.cloud.persistence import restore, snapshot, snapshot_json
-from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.cloud.persistence import SNAPSHOT_VERSION, restore, snapshot, snapshot_json
 from repro.cloud.service import CloudService
 from repro.core.errors import ConfigurationError
 from repro.scenario import Deployment
@@ -20,39 +19,10 @@ def build_world(design_name="D-LINK", seed=81):
 
 
 def restart_cloud(world) -> CloudService:
-    """Simulate a cloud restart: snapshot, replace the node, restore."""
+    """Simulate a cloud restart: snapshot, shut down, constructor-restore."""
     data = snapshot(world.cloud)
-    world.network.set_handler("cloud", None)
-    # a fresh service instance on a new node name, then swap the handler in
-    fresh = CloudService.__new__(CloudService)
-    fresh.env = world.env
-    fresh.network = world.network
-    fresh.design = world.design
-    fresh.node_name = "cloud"
-    from repro.cloud.accounts import AccountStore
-    from repro.cloud.audit import AuditLog
-    from repro.cloud.bindings import BindingStore
-    from repro.cloud.handlers import EndpointHandlers
-    from repro.cloud.registry import DeviceRegistry
-    from repro.cloud.relay import Relay
-    from repro.cloud.shadows import ShadowStore
-    from repro.cloud.sharing import ShareStore
-    from repro.identity.tokens import TokenService
-
-    fresh.tokens = TokenService(world.env.rng.fork("restarted-cloud"))
-    fresh.accounts = AccountStore(fresh.tokens)
-    fresh.registry = DeviceRegistry(fresh.tokens)
-    fresh.bindings = BindingStore()
-    fresh.shares = ShareStore()
-    fresh.shadows = ShadowStore()
-    fresh.relay = Relay()
-    fresh.audit = AuditLog()
-    fresh.bind_probe_failures = {}
-    fresh._handlers = EndpointHandlers(fresh)
-    fresh._sweep_handle = None
-    restore(fresh, data)
-    world.network.set_handler("cloud", fresh.handle_packet)
-    fresh.start_liveness_sweep()
+    world.cloud.shutdown()
+    fresh = CloudService.restore(world.env, world.network, world.design, data)
     world.cloud = fresh
     return fresh
 
@@ -62,23 +32,29 @@ class TestSnapshot:
         world = build_world()
         text = snapshot_json(world.cloud)
         data = json.loads(text)
+        assert data["version"] == SNAPSHOT_VERSION
         assert data["design"] == "D-LINK"
-        assert len(data["bindings"]) == 1
-        assert len(data["accounts"]) == 2
+        assert len(data["stores"]["bindings"]) == 1
+        assert len(data["stores"]["accounts"]) == 2
 
     def test_snapshot_captures_schedule_and_post_token(self):
         world = build_world()
         data = snapshot(world.cloud)
-        binding = data["bindings"][0]
+        binding = data["stores"]["bindings"][0]
         assert binding["post_token"] is not None
         assert binding["device_confirmed"] is True
-        assert list(data["schedules"].values()) == [{"on": "19:00"}]
+        schedules = [record["schedule"] for record in data["stores"]["relay"]]
+        assert schedules == [{"on": "19:00"}]
+
+    def test_snapshot_excludes_volatile_shadows(self):
+        world = build_world()
+        data = snapshot(world.cloud)
+        assert "shadows" not in data["stores"]
 
 
 class TestRestore:
     def test_restart_preserves_binding_and_recovers_control(self):
         world = build_world()
-        device_id = world.victim.device.device_id
         restart_cloud(world)
         # immediately after restart: shadow offline but bound
         assert world.shadow_state() == "bound"
@@ -129,6 +105,35 @@ class TestRestore:
         data["version"] = 99
         other = Deployment(vendor("D-LINK"), seed=83)
         fresh_like = other.cloud
-        # wipe to look fresh
         with pytest.raises(ConfigurationError):
             restore(fresh_like, data)
+
+
+class TestV1Migration:
+    def test_v1_snapshot_loads_through_shim(self):
+        """A hand-built v1 document (the old format) still restores."""
+        world = build_world()
+        v2 = snapshot(world.cloud)
+        stores = v2["stores"]
+        v1 = {
+            "version": 1,
+            "design": v2["design"],
+            "time": v2["time"],
+            "accounts": stores["accounts"],
+            "tokens": stores["tokens"],
+            "devices": stores["devices"],
+            "bindings": stores["bindings"],
+            "shares": stores["shares"],
+            "schedules": {
+                record["device_id"]: dict(record["schedule"])
+                for record in stores["relay"]
+            },
+        }
+        world.cloud.shutdown()
+        fresh = CloudService.restore(world.env, world.network, world.design, v1)
+        world.cloud = fresh
+        assert world.bound_user() == world.victim.user_id
+        response = world.victim.app.query(world.victim.device.device_id)
+        assert response.payload["schedule"] == {"on": "19:00"}
+        # re-saving the migrated world yields a v2 document
+        assert snapshot(fresh)["version"] == SNAPSHOT_VERSION

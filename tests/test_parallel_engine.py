@@ -91,6 +91,9 @@ class TestSerialEquivalence:
             vendor("OZWI"), households=households, seed=seed, observer=obs
         )
         report = campaign_binding_dos(fleet, max_probes=probes)
+        # the engine publishes state-layer gauges at shard end; do the
+        # same here so the metric snapshots stay comparable
+        fleet.cloud.emit_state_gauges()
         return report, obs
 
     def test_workers_1_bit_matches_serial_report(self):
