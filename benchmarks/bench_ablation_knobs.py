@@ -8,7 +8,6 @@ behind Table III's spread of outcomes.
 
 from typing import Dict
 
-from repro.attacks.results import Outcome
 from repro.attacks.runner import ATTACK_IDS, run_all_attacks
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
 

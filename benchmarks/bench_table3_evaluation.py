@@ -6,8 +6,6 @@ cell-for-cell agreement with the published table and the Section VI-B
 prevalence counts.
 """
 
-import pytest
-
 from repro.analysis.evaluator import evaluate_all_vendors, summarize_attack_prevalence
 from repro.analysis.report import render_agreement, render_attack_log, render_table_iii
 

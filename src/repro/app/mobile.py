@@ -82,6 +82,32 @@ class MobileApp:
         network.add_node(self.node_name, None, wan_ip=cellular_ip)
         self.user_token: Optional[str] = None
         self.devices: Dict[str, KnownDevice] = {}
+        #: optional resilient cloud client (installed by enable_resilience)
+        self._client: Optional[Any] = None
+
+    def enable_resilience(self, policy: Any = None, breaker: Any = None) -> None:
+        """Route this app's cloud traffic through a resilient client.
+
+        Same survival kit as the device side: retries with backoff +
+        jitter, per-request timeouts and a circuit breaker, with the
+        jitter RNG forked by node name so same-seed runs keep identical
+        retry schedules.  Local (LAN) traffic is unaffected.
+        """
+        from repro.chaos.resilience import (
+            DEFAULT_RESILIENCE,
+            CircuitBreaker,
+            ResilientClient,
+        )
+
+        chosen = policy if policy is not None else DEFAULT_RESILIENCE
+        self._client = ResilientClient(
+            self.network,
+            self.node_name,
+            chosen,
+            self.env.rng.fork(f"resilience:{self.node_name}"),
+            breaker=breaker if breaker is not None else CircuitBreaker(),
+            role="app",
+        )
 
     # ------------------------------------------------------------------
     # network position
@@ -301,6 +327,8 @@ class MobileApp:
     # ------------------------------------------------------------------
 
     def _request(self, message) -> Response:
+        if self._client is not None:
+            return self._client.request(self.cloud_node, message)
         return self.network.request(self.node_name, self.cloud_node, message)
 
     def _try_local(self, device: DeviceFirmware, message) -> bool:

@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from repro.core.errors import ConfigurationError, RequestRejected
+from repro.core.errors import ConfigurationError, NetworkError, RequestRejected
 from repro.core.messages import BindMessage, UnbindMessage
 from repro.fleet import FleetDeployment
 
@@ -100,6 +100,17 @@ def _send(fleet: FleetDeployment, message) -> tuple:
         return True, "ok"
     except RequestRejected as exc:
         return False, exc.code
+    except NetworkError:
+        # Chaos dropped the probe; the attacker gets nothing for this ID.
+        return False, "network-error"
+
+
+def _attacker_token(fleet: FleetDeployment):
+    """The attacker's session token, or ``None`` if chaos blocked login."""
+    try:
+        return fleet.attacker_token()
+    except NetworkError:
+        return None
 
 
 def campaign_binding_dos(
@@ -116,19 +127,24 @@ def campaign_binding_dos(
         "campaign:binding-dos", kind="scenario",
         vendor=fleet.design.name, households=len(fleet.households),
     ):
-        token = fleet.attacker_token()
+        token = _attacker_token(fleet)
         probed = hits = 0
-        with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
-            for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
-                probed += 1
-                accepted, code = _send(
-                    fleet, BindMessage(device_id=candidate, user_token=token)
-                )
-                if accepted or code != "unknown-device":
-                    hits += 1
+        details = []
+        if token is None:
+            details.append("attacker login failed (network); probe sweep skipped")
+        else:
+            with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+                for candidate in itertools.islice(
+                    fleet.id_scheme.candidates(), max_probes
+                ):
+                    probed += 1
+                    accepted, code = _send(
+                        fleet, BindMessage(device_id=candidate, user_token=token)
+                    )
+                    if accepted or code not in ("unknown-device", "network-error"):
+                        hits += 1
 
         denied = 0
-        details = []
         with obs.span("victim-setups", kind="phase"):
             for household in fleet.households:
                 ok = fleet.setup_household(household)
@@ -163,16 +179,22 @@ def campaign_mass_unbind(
         "campaign:mass-unbind", kind="scenario",
         vendor=fleet.design.name, households=len(fleet.households),
     ):
-        token = fleet.attacker_token()
+        token = _attacker_token(fleet)
         probed = hits = 0
-        with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
-            for candidate in itertools.islice(fleet.id_scheme.candidates(), max_probes):
-                probed += 1
-                accepted, _ = _send(
-                    fleet, UnbindMessage(device_id=candidate, user_token=token)
-                )
-                if accepted:
-                    hits += 1
+        details = []
+        if token is None:
+            details.append("attacker login failed (network); probe sweep skipped")
+        else:
+            with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+                for candidate in itertools.islice(
+                    fleet.id_scheme.candidates(), max_probes
+                ):
+                    probed += 1
+                    accepted, _ = _send(
+                        fleet, UnbindMessage(device_id=candidate, user_token=token)
+                    )
+                    if accepted:
+                        hits += 1
 
         denied = sum(
             1
@@ -190,4 +212,5 @@ def campaign_mass_unbind(
         ids_hit=hits,
         victims_denied=denied,
         modelled_seconds=probed / request_rate,
+        details=details,
     )

@@ -1,0 +1,152 @@
+"""The fault injector: a seeded :class:`FaultPlan` interpreter.
+
+One :class:`FaultInjector` is one plan applied to one simulated world.
+It implements the :class:`~repro.net.network.Network` fault-filter seam:
+the network consults it before delivering each request (partition,
+brownout, loss, latency/timeout — in that fixed, documented order) and
+after a successful delivery (duplicate).  Broadcast member order flows
+through :meth:`deliver_order` for reordering.
+
+Determinism: every probabilistic decision draws from the injector's own
+:class:`~repro.sim.rand.DeterministicRandom`, forked off the
+environment's stream by a stable label — so installing chaos never
+shifts token generation, device IDs or any other draw in the world, and
+the same seed always produces the same fault pattern.  Draws only
+happen when a matching rule has a positive probability, so an inert
+plan consumes nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.faults import FaultPlan
+from repro.core.errors import NetworkError, RequestTimeout
+from repro.sim.environment import Environment
+from repro.sim.rand import DeterministicRandom
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a network's traffic."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        cloud_node: str = "cloud",
+        rng: Optional[DeterministicRandom] = None,
+        observer: Optional[Any] = None,
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.cloud_node = cloud_node
+        self.rng = rng if rng is not None else env.rng.fork(f"chaos:{plan.name}")
+        self._observer = observer if observer is not None else env.observer
+        #: Local accounting (also mirrored into observer counters).
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "dropped": 0,
+            "delayed": 0,
+            "timeouts": 0,
+            "duplicates": 0,
+            "reordered": 0,
+        }
+
+    # -- group classification ------------------------------------------------
+
+    def group_of(self, node_name: str) -> str:
+        """The fault-rule group of a node: cloud / device / app / attacker."""
+        if node_name == self.cloud_node:
+            return "cloud"
+        return node_name.split(":", 1)[0]
+
+    # -- the Network fault-filter seam ---------------------------------------
+
+    def on_request(
+        self, src: str, dst: str, now: float, timeout: Optional[float] = None
+    ) -> None:
+        """Veto or delay one request; raises to prevent delivery.
+
+        Decision order is fixed (partition, brownout, loss, latency) so
+        the draw sequence — and therefore the whole run — is a pure
+        function of the seed and the request sequence.
+        """
+        src_group, dst_group = self.group_of(src), self.group_of(dst)
+        self.stats["requests"] += 1
+        for part in self.plan.partitions:
+            if part.active(now) and part.severs(src_group, dst_group):
+                self._drop("partition")
+                raise NetworkError(
+                    f"chaos: {src!r} -> {dst!r} severed by partition "
+                    f"{{{', '.join(part.groups)}}}"
+                )
+        if dst_group == "cloud":
+            for brownout in self.plan.brownouts:
+                if brownout.active(now):
+                    self._drop("brownout")
+                    raise NetworkError(
+                        f"chaos: cloud brownout until t={brownout.end:g}"
+                    )
+        latency = 0.0
+        for fault in self.plan.link_faults:
+            if not fault.active(now) or not fault.matches(src_group, dst_group):
+                continue
+            if fault.loss > 0.0 and self.rng.uniform(0.0, 1.0) < fault.loss:
+                self._drop("loss")
+                raise NetworkError(f"chaos: {src!r} -> {dst!r} lost in transit")
+            latency += fault.latency
+            if fault.jitter > 0.0:
+                latency += self.rng.uniform(0.0, fault.jitter)
+        if latency > 0.0:
+            self.stats["delayed"] += 1
+            self._observer.observe("chaos.latency", latency)
+            if timeout is not None and latency > timeout:
+                self.stats["timeouts"] += 1
+                self._observer.count("chaos.timeouts")
+                raise RequestTimeout(
+                    f"chaos: {src!r} -> {dst!r} took {latency:.3f}s "
+                    f"(> {timeout:.3f}s timeout)"
+                )
+
+    def should_duplicate(self, src: str, dst: str, now: float) -> bool:
+        """Whether a successfully delivered request is re-delivered once."""
+        src_group, dst_group = self.group_of(src), self.group_of(dst)
+        for fault in self.plan.link_faults:
+            if (
+                fault.duplicate > 0.0
+                and fault.active(now)
+                and fault.matches(src_group, dst_group)
+                and self.rng.uniform(0.0, 1.0) < fault.duplicate
+            ):
+                self.stats["duplicates"] += 1
+                self._observer.count("chaos.duplicates")
+                return True
+        return False
+
+    def deliver_order(self, src: str, members: List[str], now: float) -> List[str]:
+        """Possibly reorder a broadcast's delivery order (in place safe)."""
+        src_group = self.group_of(src)
+        for fault in self.plan.link_faults:
+            if (
+                fault.reorder > 0.0
+                and fault.active(now)
+                and fault.matches(src_group, fault.dst)
+                and self.rng.uniform(0.0, 1.0) < fault.reorder
+            ):
+                reordered = list(members)
+                self.rng.shuffle(reordered)
+                self.stats["reordered"] += 1
+                self._observer.count("chaos.reordered")
+                return reordered
+        return members
+
+    # -- reporting -----------------------------------------------------------
+
+    def _drop(self, cause: str) -> None:
+        """Account one vetoed delivery (local stats + observer counter)."""
+        self.stats["dropped"] += 1
+        self._observer.count("chaos.drops", cause=cause)
+
+    def summary(self) -> Dict[str, int]:
+        """A copy of the injector's local accounting."""
+        return dict(self.stats)

@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``)::
     python -m repro secure              # attack the recommended designs
     python -m repro obs                 # traced fleet campaign run report
     python -m repro campaign --workers 4 --households 400
+    python -m repro campaign --households 8 --chaos lossy-lan
+    python -m repro chaos list                 # fault-plan catalog
+    python -m repro chaos run cloud-restart --seconds 120
     python -m repro snapshot save /tmp/cloud.json --vendor OZWI
 """
 
@@ -197,6 +200,15 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     from repro.parallel import run_campaign
     from repro.vendors import vendor
 
+    chaos = None
+    if args.chaos is not None:
+        from repro.chaos import ChaosSpec
+
+        chaos = ChaosSpec(
+            plan=args.chaos,
+            intensity=args.intensity,
+            resilience=not args.no_resilience,
+        )
     result = run_campaign(
         vendor(args.vendor),
         campaign=args.mode,
@@ -206,10 +218,77 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         seed=args.seed,
         build=args.build,
         snapshot_max_spans=args.max_spans,
+        chaos=chaos,
     )
     if args.format == "json":
         return json.dumps(result.snapshot, indent=2, sort_keys=True)
     return result.render()
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from repro.chaos import plan_from_name, plan_names
+    from repro.chaos.faults import plan_catalog
+
+    if args.action == "list":
+        catalog = plan_catalog()
+        width = max(len(name) for name in catalog)
+        return "\n".join(
+            f"{name:<{width}}  {description}"
+            for name, description in catalog.items()
+        )
+    if args.action == "describe":
+        return plan_from_name(args.plan, args.intensity).describe()
+
+    # action == "run": one chaos-enabled fleet, time actually advancing,
+    # so windowed faults (partitions, brownouts, restarts) fire.
+    from repro.chaos import ChaosSpec, apply_chaos, binding_liveness
+    from repro.fleet import FleetDeployment
+    from repro.vendors import vendor
+
+    if args.plan not in plan_names():
+        from repro.core.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown fault plan {args.plan!r}; see 'repro chaos list'"
+        )
+    fleet = FleetDeployment(
+        vendor(args.vendor), households=args.households, seed=args.seed
+    )
+    spec = ChaosSpec(
+        plan=args.plan,
+        intensity=args.intensity,
+        resilience=not args.no_resilience,
+    )
+    controller = apply_chaos(fleet, spec)
+    bound = fleet.setup_all()
+    fleet.run(args.seconds)
+    liveness = binding_liveness(fleet)
+    summary = controller.summary()
+    injector = summary["injector"]
+    lines = [
+        f"chaos run: plan={args.plan} intensity={args.intensity:g} "
+        f"vendor={fleet.design.name} households={args.households} "
+        f"seconds={args.seconds:g}",
+        f"  setup succeeded: {bound}/{args.households}",
+        f"  injector: requests={injector['requests']} "
+        f"dropped={injector['dropped']} delayed={injector['delayed']} "
+        f"timeouts={injector['timeouts']} duplicates={injector['duplicates']}",
+        f"  cloud restarts: {summary['restarts']} "
+        f"(journal entries replayed: {summary['restart_entries_applied']})",
+        f"  binding liveness: bound {liveness['bound']}/{liveness['households']} "
+        f"({liveness['bound_fraction']:.0%})  online {liveness['online']}/"
+        f"{liveness['households']} ({liveness['online_fraction']:.0%})",
+    ]
+    resilience = summary["resilience"]
+    if resilience:
+        lines.append(
+            f"  resilience: attempts={resilience.get('attempts', 0):g} "
+            f"retries={resilience.get('retries', 0):g} "
+            f"giveups={resilience.get('giveups', 0):g} "
+            f"short_circuits={resilience.get('short_circuits', 0):g} "
+            f"modelled backoff={resilience.get('backoff_seconds', 0.0):.1f}s"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> str:
@@ -361,7 +440,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-spans", type=int, default=None,
                           help="cap exported spans in JSON output")
     campaign.add_argument("--format", choices=["text", "json"], default="text")
+    campaign.add_argument("--chaos", default=None, metavar="PLAN",
+                          help="run under a named fault plan "
+                               "(see 'repro chaos list')")
+    campaign.add_argument("--intensity", type=float, default=1.0,
+                          help="fault-plan intensity scale (0 = inert)")
+    campaign.add_argument("--no-resilience", action="store_true",
+                          help="leave devices/apps without retry/backoff "
+                               "clients under chaos")
     campaign.set_defaults(run=_cmd_campaign)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-plan catalog and chaos-enabled fleet runs"
+    )
+    chaos.add_argument("action", choices=["list", "describe", "run"])
+    chaos.add_argument("plan", nargs="?", default=None,
+                       help="fault plan name (describe/run)")
+    chaos.add_argument("--vendor", default="OZWI")
+    chaos.add_argument("--households", type=int, default=10)
+    chaos.add_argument("--seconds", type=float, default=120.0,
+                       help="virtual seconds to run (run action)")
+    chaos.add_argument("--intensity", type=float, default=1.0)
+    chaos.add_argument("--no-resilience", action="store_true")
+    chaos.set_defaults(run=_cmd_chaos)
 
     snapshot = sub.add_parser(
         "snapshot", help="save / inspect / load a cloud state snapshot (v2)"
@@ -384,11 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.core.errors import ConfigurationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         print(args.run(args))
-    except KeyError as exc:
+    except (KeyError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0

@@ -69,6 +69,9 @@ class CloudService:
         self.network = network
         self.design = design
         self.node_name = node_name
+        #: where this cloud sits on the simulated internet (a restart
+        #: rebuilds the successor at the same address)
+        self.public_ip = public_ip
         self.tokens = TokenService(env.rng.fork(f"cloud-tokens-{design.name}"))
         self.accounts = AccountStore(self.tokens)
         self.registry = DeviceRegistry(self.tokens)

@@ -24,6 +24,16 @@ class NetworkError(ReproError):
     """A packet could not be delivered at all (no route, host down)."""
 
 
+class RequestTimeout(NetworkError):
+    """A request's modelled latency exceeded the caller's timeout.
+
+    Raised by the network when an installed fault filter accumulates
+    more virtual latency than the per-request ``timeout`` the caller
+    passed (see ``docs/chaos.md``); to the client this is just another
+    retriable network failure.
+    """
+
+
 class FirewallBlocked(NetworkError):
     """Delivery was blocked by a LAN boundary (WPA2/NAT gate).
 

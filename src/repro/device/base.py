@@ -116,6 +116,9 @@ class DeviceFirmware:
         network.add_node(self.node_name, self._handle_local)
 
         # volatile firmware state
+        #: optional resilient cloud client (installed by enable_resilience)
+        self._client: Optional[Any] = None
+
         self.powered = False
         self.wifi: Optional[WifiCredentials] = None
         self._lan_id: Optional[str] = None
@@ -221,10 +224,8 @@ class DeviceFirmware:
         """
         if self.connected and self.design.unbind_accepts_bare_dev_id:
             try:
-                self.network.request(
-                    self.node_name,
-                    self.cloud_node,
-                    UnbindMessage(device_id=self.device_id, origin=Origin.DEVICE),
+                self._cloud_request(
+                    UnbindMessage(device_id=self.device_id, origin=Origin.DEVICE)
                 )
             except (RequestRejected, Exception):
                 pass
@@ -241,6 +242,37 @@ class DeviceFirmware:
     # ------------------------------------------------------------------
     # cloud communication
     # ------------------------------------------------------------------
+
+    def enable_resilience(self, policy: Any = None, breaker: Any = None) -> None:
+        """Route this device's cloud traffic through a resilient client.
+
+        Installs retries with backoff + jitter, per-request timeouts and
+        a circuit breaker around every cloud call (heartbeats, polls,
+        binding).  The client's jitter RNG is forked off the environment
+        by node name so retry schedules never perturb the world's other
+        draws.  Idempotent knob update if called again.
+        """
+        from repro.chaos.resilience import (
+            DEFAULT_RESILIENCE,
+            CircuitBreaker,
+            ResilientClient,
+        )
+
+        chosen = policy if policy is not None else DEFAULT_RESILIENCE
+        self._client = ResilientClient(
+            self.network,
+            self.node_name,
+            chosen,
+            self.env.rng.fork(f"resilience:{self.node_name}"),
+            breaker=breaker if breaker is not None else CircuitBreaker(),
+            role="device",
+        )
+
+    def _cloud_request(self, message: Message) -> Message:
+        """One cloud round-trip, via the resilient client when installed."""
+        if self._client is not None:
+            return self._client.request(self.cloud_node, message)
+        return self.network.request(self.node_name, self.cloud_node, message)
 
     def _auth_fields(self, payload_model: str = "") -> Dict[str, Any]:
         """Authentication material per the vendor's Figure 3 design."""
@@ -299,7 +331,7 @@ class DeviceFirmware:
             post_binding_token=self.post_binding_token, **self._auth_fields()
         )
         try:
-            response = self.network.request(self.node_name, self.cloud_node, fetch)
+            response = self._cloud_request(fetch)
         except (RequestRejected, Exception) as exc:
             self.last_error = getattr(exc, "code", "network-error")
             return
@@ -355,7 +387,7 @@ class DeviceFirmware:
 
     def _send_to_cloud(self, message: Message) -> bool:
         try:
-            self.network.request(self.node_name, self.cloud_node, message)
+            self._cloud_request(message)
             return True
         except RequestRejected as exc:
             self.last_error = exc.code
@@ -377,7 +409,7 @@ class DeviceFirmware:
             origin=Origin.DEVICE,
         )
         try:
-            response = self.network.request(self.node_name, self.cloud_node, message)
+            response = self._cloud_request(message)
         except RequestRejected as exc:
             self.last_error = exc.code
             return
@@ -400,7 +432,7 @@ class DeviceFirmware:
             device_id=self.device_id, bind_token=bind_token, origin=Origin.DEVICE
         )
         try:
-            response = self.network.request(self.node_name, self.cloud_node, message)
+            response = self._cloud_request(message)
         except RequestRejected as exc:
             self.last_error = exc.code
             return

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 from repro.app.mobile import KnownDevice, MobileApp
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
 from repro.cloud.service import CloudService
-from repro.core.errors import ConfigurationError, RequestRejected
+from repro.core.errors import ConfigurationError, NetworkError, RequestRejected
 from repro.device import DEVICE_CLASSES
 from repro.device.base import DeviceFirmware
 from repro.identity.device_ids import scheme_from_name
@@ -300,7 +300,9 @@ class FleetDeployment:
             if self.design.ip_match_required:
                 device.press_button()
             return app.bind_device(device)
-        except RequestRejected:
+        except (RequestRejected, NetworkError):
+            # Chaos (loss, partitions, brownouts) failing the Figure 1
+            # flow is a real denial, not an experiment-script crash.
             return False
 
     def setup_all(self) -> int:

@@ -37,6 +37,36 @@ Handler = Callable[[Packet], Message]
 Tap = Callable[[Exchange], None]
 
 
+class FaultFilter(Protocol):
+    """The fault-injection seam: consulted around every delivery.
+
+    Implementations (``repro.chaos.injector.FaultInjector`` is the real
+    one) may raise :class:`~repro.core.errors.NetworkError` (or a
+    subclass such as :class:`~repro.core.errors.RequestTimeout`) from
+    :meth:`on_request` to veto a delivery, report at-least-once
+    duplication via :meth:`should_duplicate`, and reorder broadcast
+    fan-out via :meth:`deliver_order`.
+    """
+
+    def on_request(
+        self, src: str, dst: str, now: float, timeout: Optional[float] = None
+    ) -> None:  # pragma: no cover - protocol
+        """Veto or delay one request; raise NetworkError to drop it."""
+        ...
+
+    def should_duplicate(
+        self, src: str, dst: str, now: float
+    ) -> bool:  # pragma: no cover - protocol
+        """Whether a successfully delivered request is delivered again."""
+        ...
+
+    def deliver_order(
+        self, src: str, members: List[str], now: float
+    ) -> List[str]:  # pragma: no cover - protocol
+        """The order in which a broadcast reaches *members*."""
+        ...
+
+
 class PacketProxy(Protocol):
     """A man-in-the-middle hook on one node's *own* outgoing traffic."""
 
@@ -64,9 +94,9 @@ class Network:
         self._lans: Dict[str, Lan] = {}
         self._taps: List[Tap] = []
         self._proxies: Dict[str, PacketProxy] = {}
-        #: per-request drop probability (failure injection); uses the
-        #: environment's seeded RNG so lossy runs stay reproducible
-        self._loss_probability = 0.0
+        #: named fault filters, consulted in installation order around
+        #: every delivery (the chaos seam; see ``docs/chaos.md``)
+        self._fault_filters: Dict[str, FaultFilter] = {}
 
     # -- topology ----------------------------------------------------------
 
@@ -173,29 +203,65 @@ class Network:
 
     # -- failure injection --------------------------------------------------
 
+    def add_fault_filter(self, name: str, filt: FaultFilter) -> None:
+        """Install (or replace) a named :class:`FaultFilter`.
+
+        Filters run in installation order on every request; replacing a
+        name keeps its position so determinism is preserved across
+        reconfiguration.
+        """
+        self._fault_filters[name] = filt
+
+    def remove_fault_filter(self, name: str) -> None:
+        """Uninstall a fault filter; unknown names are a no-op."""
+        self._fault_filters.pop(name, None)
+
+    def fault_filter(self, name: str) -> Optional[FaultFilter]:
+        """The installed filter registered under *name*, if any."""
+        return self._fault_filters.get(name)
+
     def set_loss(self, probability: float) -> None:
         """Drop each request with *probability* (0 disables).
 
         Models flaky last-mile connectivity; callers see a plain
-        :class:`NetworkError`, exactly like a timeout.
+        :class:`NetworkError`, exactly like a timeout.  Implemented as a
+        uniform-loss fault plan installed under the filter name
+        ``"loss"``, so the legacy knob and ``repro.chaos`` share one
+        delivery path (and one seeded RNG discipline).
         """
         if not 0.0 <= probability <= 1.0:
             raise ProtocolError("loss probability must be within [0, 1]")
-        self._loss_probability = probability
+        if probability == 0.0:
+            self.remove_fault_filter("loss")
+            return
+        from repro.chaos.faults import uniform_loss_plan
+        from repro.chaos.injector import FaultInjector
+
+        plan = uniform_loss_plan(probability)
+        self.add_fault_filter("loss", FaultInjector(self.env, plan))
 
     # -- delivery ------------------------------------------------------------
 
-    def request(self, src: str, dst: str, message: Message, encrypted: bool = True) -> Message:
+    def request(
+        self,
+        src: str,
+        dst: str,
+        message: Message,
+        encrypted: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Message:
         """Send *message* from *src* to *dst*; return the handler's response.
 
         Raises :class:`FirewallBlocked` / :class:`NetworkError` for
         unreachable destinations and re-raises any
         :class:`RequestRejected` the destination handler raised.
+        *timeout* (virtual seconds) is offered to the fault filters: a
+        filter whose modelled latency exceeds it raises
+        :class:`~repro.core.errors.RequestTimeout`.
         """
-        if self._loss_probability > 0.0 and (
-            self.env.rng.uniform(0.0, 1.0) < self._loss_probability
-        ):
-            raise NetworkError(f"request {src!r} -> {dst!r} lost in transit")
+        now = self.env.now
+        for filt in self._fault_filters.values():
+            filt.on_request(src, dst, now, timeout=timeout)
         packet = self._build_packet(src, dst, message, encrypted)
         proxy = self._proxies.get(src)
         if proxy is not None:
@@ -210,6 +276,24 @@ class Network:
             self._record(Exchange(packet, _rejection(exc), error_code=exc.code))
             raise
         self._record(Exchange(packet, response))
+        for filt in self._fault_filters.values():
+            if filt.should_duplicate(src, dst, now):
+                # At-least-once delivery: the same request arrives again;
+                # the duplicate's response is recorded but discarded (the
+                # caller already has the first answer).
+                dup_packet = self._build_packet(src, dst, message, encrypted)
+                if proxy is not None:
+                    dup_packet = proxy.process(dup_packet)
+                    dup_packet.via_proxy = proxy.name
+                try:
+                    dup_response = destination.handler(dup_packet)
+                except RequestRejected as exc:
+                    self._record(
+                        Exchange(dup_packet, _rejection(exc), error_code=exc.code)
+                    )
+                else:
+                    self._record(Exchange(dup_packet, dup_response))
+                break
         return response
 
     def broadcast(self, src: str, message: Message, encrypted: bool = False) -> List[Exchange]:
@@ -219,7 +303,10 @@ class Network:
             raise NetworkError(f"{src!r} is not on a LAN; cannot broadcast")
         lan = self._lans[entry.lan_id]
         exchanges: List[Exchange] = []
-        for member in sorted(lan.members()):
+        members = sorted(lan.members())
+        for filt in self._fault_filters.values():
+            members = filt.deliver_order(src, members, self.env.now)
+        for member in members:
             target = self._nodes.get(member)
             if member == src or target is None or target.handler is None:
                 continue

@@ -37,6 +37,12 @@ from repro.attacks.campaign import (
     campaign_binding_dos,
     campaign_mass_unbind,
 )
+from repro.chaos.campaign import (
+    ChaosSpec,
+    apply_chaos,
+    binding_liveness,
+    merge_liveness,
+)
 from repro.cloud.policy import VendorDesign
 from repro.core.errors import ConfigurationError
 from repro.fleet import FleetDeployment
@@ -65,6 +71,9 @@ class ShardSpec:
     run_seconds: float = 12.0
     trace_messages: bool = True
     snapshot_max_spans: Optional[int] = None
+    #: optional chaos configuration; the plan is materialized inside the
+    #: shard world so its fault RNG derives from the shard seed
+    chaos: Optional[ChaosSpec] = None
 
 
 @dataclass
@@ -82,6 +91,9 @@ class ShardResult:
     #: per-store ``{records, mutations}`` from the shard cloud's state
     #: layer (``CloudService.state_counts``), captured at shard end
     state_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: chaos summary for this shard (plan, injector stats, restarts,
+    #: resilience totals, binding liveness); ``None`` on calm runs
+    chaos: Optional[Dict[str, Any]] = None
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -100,6 +112,9 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         observer=obs,
         build=spec.build,
     )
+    controller = None
+    if spec.chaos is not None:
+        controller = apply_chaos(fleet, spec.chaos)
     if spec.campaign == "binding-dos":
         report = campaign_binding_dos(
             fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
@@ -115,6 +130,12 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     # Publish per-store size/churn gauges before snapshotting metrics so
     # the shard's state-layer numbers ride the normal merge path.
     fleet.cloud.emit_state_gauges()
+    chaos_summary: Optional[Dict[str, Any]] = None
+    if controller is not None:
+        chaos_summary = controller.summary()
+        chaos_summary["intensity"] = spec.chaos.intensity
+        chaos_summary["resilience_enabled"] = spec.chaos.resilience
+        chaos_summary["liveness"] = binding_liveness(fleet)
     return ShardResult(
         shard_index=spec.shard_index,
         seed=spec.seed,
@@ -125,6 +146,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         matches_audit=obs.matches_audit(fleet.cloud.audit),
         wall_seconds=time.perf_counter() - started,
         state_counts=fleet.cloud.state_counts(),
+        chaos=chaos_summary,
     )
 
 
@@ -164,6 +186,23 @@ class ShardedCampaignResult:
         return merged_total == self.audit_entries_total
 
     @property
+    def chaotic(self) -> bool:
+        """Whether any shard ran with chaos enabled."""
+        return any(result.chaos is not None for result in self.shard_results)
+
+    @property
+    def liveness(self) -> Optional[Dict[str, float]]:
+        """Fleet-wide binding liveness under chaos (``None`` when calm)."""
+        per_shard = [
+            result.chaos["liveness"]
+            for result in self.shard_results
+            if result.chaos is not None and "liveness" in result.chaos
+        ]
+        if not per_shard:
+            return None
+        return merge_liveness(per_shard)
+
+    @property
     def state_counts(self) -> Dict[str, Dict[str, int]]:
         """Fleet-wide per-store ``{records, mutations}`` (summed shards)."""
         from repro.cloud.state.protocol import merge_state_counts
@@ -193,6 +232,32 @@ class ShardedCampaignResult:
             f"{'consistent' if self.consistent else 'MISMATCH'} "
             f"({self.audit_entries_total} audit entries fleet-wide)"
         )
+        liveness = self.liveness
+        if liveness is not None:
+            first = next(
+                r.chaos for r in self.shard_results if r.chaos is not None
+            )
+            dropped = sum(
+                r.chaos["injector"]["dropped"]
+                for r in self.shard_results
+                if r.chaos is not None
+            )
+            restarts = sum(
+                r.chaos.get("restarts", 0)
+                for r in self.shard_results
+                if r.chaos is not None
+            )
+            lines.append(
+                f"chaos: plan={first['plan']} "
+                f"intensity={first.get('intensity', 1.0):g} "
+                f"dropped={dropped} restarts={restarts}"
+            )
+            lines.append(
+                f"binding liveness: bound {liveness['bound']}/"
+                f"{liveness['households']} ({liveness['bound_fraction']:.0%})  "
+                f"online {liveness['online']}/{liveness['households']} "
+                f"({liveness['online_fraction']:.0%})"
+            )
         state = self.state_counts
         if state:
             lines.append(
@@ -229,6 +294,7 @@ def build_shard_specs(
     run_seconds: float = 12.0,
     trace_messages: bool = True,
     snapshot_max_spans: Optional[int] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> List[ShardSpec]:
     """Partition one campaign into per-shard specs.
 
@@ -261,6 +327,7 @@ def build_shard_specs(
             run_seconds=run_seconds,
             trace_messages=trace_messages,
             snapshot_max_spans=snapshot_max_spans,
+            chaos=chaos,
         )
         for index in range(shards)
     ]
@@ -280,6 +347,7 @@ def run_campaign(
     trace_messages: bool = True,
     snapshot_max_spans: Optional[int] = None,
     mp_start: Optional[str] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> ShardedCampaignResult:
     """Run one fleet campaign sharded across *workers* processes.
 
@@ -298,6 +366,7 @@ def run_campaign(
         shards=shards if shards is not None else workers, seed=seed,
         request_rate=request_rate, build=build, run_seconds=run_seconds,
         trace_messages=trace_messages, snapshot_max_spans=snapshot_max_spans,
+        chaos=chaos,
     )
     started = time.perf_counter()
     if workers == 1 or len(specs) == 1:

@@ -11,7 +11,7 @@ from repro.analysis.design_space import (
 from repro.attacks.results import Outcome
 from repro.cloud.policy import BindSchema, DeviceAuthMode
 from repro.secure import SECURE_BASELINES, SECURE_CAPABILITY
-from repro.vendors import STUDIED_VENDORS, vendor
+from repro.vendors import STUDIED_VENDORS
 
 
 class TestPredictionsMatchPaper:

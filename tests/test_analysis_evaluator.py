@@ -10,7 +10,7 @@ from repro.analysis.evaluator import (
     summarize_attack_prevalence,
 )
 from repro.analysis.report import render_agreement, render_attack_log, render_table_iii
-from repro.vendors import PAPER_ROWS_BY_VENDOR, PAPER_TABLE_III, vendor
+from repro.vendors import PAPER_TABLE_III, vendor
 
 
 @pytest.fixture(scope="module")

@@ -1,13 +1,11 @@
 """Tests for the event feed and attack-detectability analysis."""
 
-import pytest
-
 from repro.analysis.stealth import (
     probe_attack_detectability,
     render_survey,
     stealth_survey,
 )
-from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.cloud.policy import VendorDesign
 from repro.scenario import Deployment
 from repro.vendors import vendor
 

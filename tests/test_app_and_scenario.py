@@ -3,7 +3,7 @@ builder's world invariants."""
 
 import pytest
 
-from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.cloud.policy import BindSender, DeviceAuthMode, VendorDesign
 from repro.core.errors import FirewallBlocked, ProtocolError
 from repro.scenario import Deployment
 from repro.secure import SECURE_CAPABILITY

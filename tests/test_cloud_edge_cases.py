@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
+from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode
 from repro.core.messages import (
     BindingInfoRequest,
     BindMessage,
@@ -16,7 +16,6 @@ from repro.core.messages import (
     StatusMessage,
     UnbindMessage,
 )
-from tests.helpers import CloudHarness
 from tests.test_cloud_endpoints import login, make_harness
 
 

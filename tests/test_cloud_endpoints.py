@@ -1,8 +1,6 @@
 """Endpoint tests for the cloud handlers: every Figure 3/4 design and
 every policy check, exercised over the wire."""
 
-import pytest
-
 from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode, VendorDesign
 from repro.core.messages import (
     BindMessage,

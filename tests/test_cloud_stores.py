@@ -15,7 +15,7 @@ from repro.core.errors import (
     ConfigurationError,
     UnknownDevice,
 )
-from repro.identity.tokens import TokenKind, TokenService
+from repro.identity.tokens import TokenService
 from repro.net.address import IpAddress
 from repro.sim.rand import DeterministicRandom
 

@@ -1,15 +1,11 @@
 """Tests for the device firmware base: provisioning, heartbeats, reset,
 local protocol."""
 
-import pytest
-
-from repro.cloud.policy import BindSender, DeviceAuthMode, VendorDesign
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
 from repro.device.local import (
     DeliverBindToken,
-    DeliverDevToken,
     DeliverUserCredential,
 )
-from repro.net.discovery import SsdpSearch
 from repro.scenario import Deployment
 
 

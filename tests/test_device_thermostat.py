@@ -1,7 +1,5 @@
 """Tests for the thermostat and the self-cascade automation scenario."""
 
-import pytest
-
 from repro.app.automation import AutomationEngine, Rule
 from repro.attacks.attacker import RemoteAttacker
 from repro.cloud.policy import DeviceAuthMode, VendorDesign

@@ -1,7 +1,5 @@
 """Tests for the concrete device types: telemetry and command sets."""
 
-import pytest
-
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
 from repro.device import DEVICE_CLASSES
 from repro.net.network import Network

@@ -69,3 +69,59 @@ class TestResilience:
             world.run(100.0)
             results.append(world.victim.device.last_error)
         assert results[0] == results[1]
+
+
+class TestLossSeam:
+    """set_loss is now a fault filter over the chaos seam."""
+
+    def test_boundary_probabilities_accepted(self):
+        world = make_world()
+        world.network.set_loss(0.0)  # exact lower bound
+        world.network.set_loss(1.0)  # exact upper bound
+        world.network.set_loss(0.0)  # and back off again
+        assert world.victim_full_setup()
+
+    def test_zero_loss_uninstalls_the_filter(self):
+        world = make_world()
+        world.network.set_loss(0.4)
+        assert world.network.fault_filter("loss") is not None
+        world.network.set_loss(0.0)
+        assert world.network.fault_filter("loss") is None
+
+    def test_loss_deterministic_under_shard_seeds(self):
+        """Shard-derived seeds reproduce their own loss pattern exactly."""
+        from repro.parallel.shards import derive_shard_seed
+
+        def run_once(seed):
+            design = VendorDesign(
+                name="T", device_type="smart-plug",
+                device_auth=DeviceAuthMode.DEV_ID, id_scheme="serial-number",
+            )
+            world = Deployment(design, seed=seed)
+            assert world.victim_full_setup()
+            world.network.set_loss(0.5)
+            world.run(100.0)
+            injector = world.network.fault_filter("loss")
+            return (world.victim.device.last_error, injector.summary())
+
+        for shard in range(3):
+            seed = derive_shard_seed(7, shard)
+            assert run_once(seed) == run_once(seed)
+        # shard 0 must keep the base seed (serial path bit-match)
+        assert derive_shard_seed(7, 0) == 7
+
+    def test_backoff_schedule_identical_across_same_seed_reruns(self):
+        from repro.chaos import RetryPolicy
+        from repro.sim.environment import Environment
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.5, jitter=0.25)
+
+        def schedule():
+            env = Environment(seed=13)
+            return policy.schedule(env.rng.fork("resilience:device:0"))
+
+        first, second = schedule(), schedule()
+        assert first == second
+        assert len(first) == 4
+        # delays grow geometrically despite jitter (25% < 2x multiplier)
+        assert all(b > a for a, b in zip(first, first[1:]))

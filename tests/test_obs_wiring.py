@@ -11,8 +11,6 @@ The three guarantees the observability layer makes (ISSUE 1):
 
 import time
 
-import pytest
-
 from repro.attacks.campaign import campaign_binding_dos, campaign_mass_unbind
 from repro.attacks.runner import run_all_attacks
 from repro.fleet import FleetDeployment

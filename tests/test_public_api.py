@@ -53,7 +53,8 @@ class TestExports:
         assert report.evidence["stolen_schedule"]
 
     def test_cli_module_entrypoint_exists(self):
-        from repro.cli import build_parser, main  # noqa: F401
+        from repro.cli import build_parser, main
 
+        assert callable(main)
         args = build_parser().parse_args(["table1"])
         assert callable(args.run)

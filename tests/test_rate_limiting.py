@@ -1,7 +1,5 @@
 """Tests for the ID-enumeration rate-limit countermeasure."""
 
-import pytest
-
 from repro.attacks.attacker import RemoteAttacker
 from repro.attacks.id_inference import enumerate_ids
 from repro.cloud.policy import DeviceAuthMode, VendorDesign

@@ -1,8 +1,6 @@
 """Per-vendor narrative integration tests: one end-to-end story per
 Table III row, following the paper's Section VI-B prose."""
 
-import pytest
-
 from repro.attacks.attacker import RemoteAttacker
 from repro.attacks.results import Outcome
 from repro.attacks.runner import run_attack
