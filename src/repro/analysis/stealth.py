@@ -11,7 +11,12 @@ channels exist:
   requests fail (device gone / not-bound errors)?
 
 An attack is *stealthy* if it succeeds while producing no notification
-and no immediate app symptom.
+and no immediate app symptom.  Separately from what the *victim* can
+see, each probe also runs the defender-side
+:class:`~repro.obs.detect.pipeline.DetectionPipeline` against the
+cloud's forensic timeline and reports which rules fired — an attack can
+be perfectly stealthy toward the victim yet light up the vendor's
+detection dashboard (and vice versa).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.attacks.attacker import RemoteAttacker
 from repro.attacks.runner import ATTACKS, prepare_state
 from repro.cloud.policy import VendorDesign
 from repro.core.errors import RequestRejected
+from repro.obs.detect import DetectionPipeline
 from repro.scenario import Deployment
 
 
@@ -35,6 +41,12 @@ class DetectionReport:
     attack_outcome: str
     notifications: List[str] = field(default_factory=list)
     app_symptom: str = "none"     # "none" | "query-fails" | "control-fails"
+    #: Defender-side detection: ``rule:severity`` for every alert the
+    #: cloud's streaming pipeline raised during the attack.  Deliberately
+    #: excluded from :attr:`detectable` / :attr:`stealthy_success`, which
+    #: measure what the *victim* could observe — A1 is fully stealthy to
+    #: the victim even though the vendor's dashboard lights up.
+    cloud_alerts: List[str] = field(default_factory=list)
 
     @property
     def detectable(self) -> bool:
@@ -45,10 +57,13 @@ class DetectionReport:
         return self.attack_outcome == "yes" and not self.detectable
 
     def line(self) -> str:
+        """One table row: victim-side symptoms plus defender-side alerts."""
         notes = ",".join(self.notifications) or "-"
+        alerts = ",".join(self.cloud_alerts) or "-"
         return (
             f"{self.attack_id:<5} outcome={self.attack_outcome:<4} "
-            f"notifications={notes:<34} symptom={self.app_symptom}"
+            f"notifications={notes:<34} symptom={self.app_symptom:<13} "
+            f"cloud-alerts={alerts}"
         )
 
 
@@ -63,12 +78,26 @@ def probe_attack_detectability(design: VendorDesign, attack_id: str,
     if targeted_state == "control" and design.notifies_user:
         deployment.victim.app.poll_events()  # drain setup-time events
 
+    # Defender-side view: stream the cloud's forensic timeline through
+    # the detection rules.  Attaching catches the pipeline up on the
+    # setup traffic (detectors need it for per-device baselines), then
+    # only alerts raised by the attack itself are reported.
+    pipeline = DetectionPipeline()
+    pipeline.attach(deployment.cloud)
+    baseline = len(pipeline.alerts)
+
     report_obj = attack_fn(deployment, attacker)
+    pipeline.catch_up(deployment.cloud)
     detection = DetectionReport(
         attack_id=attack_id,
         vendor=design.name,
         attack_outcome=report_obj.outcome.value,
+        cloud_alerts=[
+            f"{alert.rule}:{alert.severity}"
+            for alert in pipeline.alerts[baseline:]
+        ],
     )
+    pipeline.detach()
     if targeted_state != "control":
         # pre-binding attacks have no bound victim to notify yet
         return detection

@@ -8,7 +8,11 @@ scenarios:
   occupy every binding *before* the customers set up ("binding
   denial-of-service to the entire product series");
 * :func:`campaign_mass_unbind` — against an already-deployed fleet on
-  an unchecked-unbind vendor, revoke every customer's binding.
+  an unchecked-unbind vendor, revoke every customer's binding;
+* :func:`campaign_shadow_probe` — A1 at fleet scale: forged DeviceFetch
+  polls across the ID space, stealing every exposed customer's data;
+* :func:`campaign_mass_rebind` — A4 at fleet scale: hijack every
+  deployed binding on a rebind-replaces vendor.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.core.errors import ConfigurationError, NetworkError, RequestRejected
-from repro.core.messages import BindMessage, UnbindMessage
+from repro.core.messages import BindMessage, DeviceFetch, UnbindMessage
 from repro.fleet import FleetDeployment
 
 
@@ -206,6 +210,108 @@ def campaign_mass_unbind(
         obs.count("campaign.denied", denied, campaign="mass-unbind")
     return CampaignReport(
         campaign="mass-unbind",
+        vendor=fleet.design.name,
+        households=len(fleet.households),
+        ids_probed=probed,
+        ids_hit=hits,
+        victims_denied=denied,
+        modelled_seconds=probed / request_rate,
+        details=details,
+    )
+
+
+def campaign_shadow_probe(
+    fleet: FleetDeployment, max_probes: int = 256, request_rate: float = 3000.0
+) -> CampaignReport:
+    """Steal every exposed customer's device data (A1 at fleet scale).
+
+    Requires an already-set-up fleet.  The attacker sweeps the ID space
+    with forged :class:`DeviceFetch` polls — no session, no token, just
+    the guessable identifier (the device #10 weakness).  A household
+    counts as a victim when a forged fetch for *its* device was
+    accepted: the cloud handed the attacker that customer's command
+    queue and schedule.
+    """
+    obs = fleet.env.observer
+    with obs.span(
+        "campaign:shadow-probe", kind="scenario",
+        vendor=fleet.design.name, households=len(fleet.households),
+    ):
+        fleet_devices = {
+            household.device.device_id for household in fleet.households
+        }
+        probed = hits = 0
+        exposed = set()
+        details = []
+        with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+            for candidate in itertools.islice(
+                fleet.id_scheme.candidates(), max_probes
+            ):
+                probed += 1
+                accepted, _ = _send(fleet, DeviceFetch(device_id=candidate))
+                if accepted:
+                    hits += 1
+                    if candidate in fleet_devices:
+                        exposed.add(candidate)
+        if exposed:
+            details.append(f"{len(exposed)} household device(s) EXPOSED")
+        obs.count("campaign.probes", probed, campaign="shadow-probe")
+        obs.count("campaign.hits", hits, campaign="shadow-probe")
+        obs.count("campaign.denied", len(exposed), campaign="shadow-probe")
+    return CampaignReport(
+        campaign="shadow-probe",
+        vendor=fleet.design.name,
+        households=len(fleet.households),
+        ids_probed=probed,
+        ids_hit=hits,
+        victims_denied=len(exposed),
+        modelled_seconds=probed / request_rate,
+        details=details,
+    )
+
+
+def campaign_mass_rebind(
+    fleet: FleetDeployment, max_probes: int = 256, request_rate: float = 3000.0
+) -> CampaignReport:
+    """Hijack every deployed customer's binding (A4 at fleet scale).
+
+    Requires an already-set-up fleet; effective only on vendors whose
+    Bind replaces an existing binding (``rebind_replaces_existing``).
+    A household counts as denied when its binding no longer names it
+    after the sweep.
+    """
+    obs = fleet.env.observer
+    with obs.span(
+        "campaign:mass-rebind", kind="scenario",
+        vendor=fleet.design.name, households=len(fleet.households),
+    ):
+        token = _attacker_token(fleet)
+        probed = hits = 0
+        details = []
+        if token is None:
+            details.append("attacker login failed (network); probe sweep skipped")
+        else:
+            with obs.span("probe-sweep", kind="phase", max_probes=max_probes):
+                for candidate in itertools.islice(
+                    fleet.id_scheme.candidates(), max_probes
+                ):
+                    probed += 1
+                    accepted, _ = _send(
+                        fleet, BindMessage(device_id=candidate, user_token=token)
+                    )
+                    if accepted:
+                        hits += 1
+
+        denied = sum(
+            1
+            for household in fleet.households
+            if fleet.cloud.bound_user_of(household.device.device_id) != household.user_id
+        )
+        obs.count("campaign.probes", probed, campaign="mass-rebind")
+        obs.count("campaign.hits", hits, campaign="mass-rebind")
+        obs.count("campaign.denied", denied, campaign="mass-rebind")
+    return CampaignReport(
+        campaign="mass-rebind",
         vendor=fleet.design.name,
         households=len(fleet.households),
         ids_probed=probed,

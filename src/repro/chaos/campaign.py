@@ -96,6 +96,20 @@ class ChaosController:
         fleet.cloud = recovery.cloud
         self.recoveries.append(recovery)
         fleet.env.observer.count("chaos.cloud_restarts")
+        # A restart severs every device's persistent connection: the
+        # recovered cloud sees all shadows disconnected until the next
+        # heartbeat, so notifying vendors tell each bound owner their
+        # device went offline (the EventFeed channel under fault plans,
+        # not just under attacks).  Sorted snapshot order keeps the
+        # emitted event sequence deterministic.
+        if recovery.cloud.design.notifies_user:
+            for record in recovery.cloud.bindings.snapshot_state():
+                recovery.cloud.notify(
+                    record["user_id"],
+                    "device-offline",
+                    record["device_id"],
+                    "cloud restarted; device connection lost",
+                )
 
     # -- reporting -----------------------------------------------------------
 

@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign --households 8 --chaos lossy-lan
     python -m repro chaos list                 # fault-plan catalog
     python -m repro chaos run cloud-restart --seconds 120
+    python -m repro detect --vendor OZWI       # detector precision/recall
+    python -m repro detect --attack A4 --chaos flaky-wan
     python -m repro snapshot save /tmp/cloud.json --vendor OZWI
 """
 
@@ -219,9 +221,14 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         build=args.build,
         snapshot_max_spans=args.max_spans,
         chaos=chaos,
+        detect=args.detect,
     )
     if args.format == "json":
-        return json.dumps(result.snapshot, indent=2, sort_keys=True)
+        return json.dumps(
+            {"report": result.to_dict(), "snapshot": result.snapshot},
+            indent=2,
+            sort_keys=True,
+        )
     return result.render()
 
 
@@ -265,6 +272,26 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     liveness = binding_liveness(fleet)
     summary = controller.summary()
     injector = summary["injector"]
+    if getattr(args, "format", "text") == "json":
+        import json
+
+        return json.dumps(
+            {
+                "plan": args.plan,
+                "intensity": args.intensity,
+                "vendor": fleet.design.name,
+                "households": args.households,
+                "seconds": args.seconds,
+                "setup_succeeded": bound,
+                "injector": injector,
+                "restarts": summary["restarts"],
+                "restart_entries_applied": summary["restart_entries_applied"],
+                "liveness": liveness,
+                "resilience": summary["resilience"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
     lines = [
         f"chaos run: plan={args.plan} intensity={args.intensity:g} "
         f"vendor={fleet.design.name} households={args.households} "
@@ -289,6 +316,44 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
             f"modelled backoff={resilience.get('backoff_seconds', 0.0):.1f}s"
         )
     return "\n".join(lines)
+
+
+def _cmd_detect(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.obs.detect.harness import (
+        ATTACK_CAMPAIGNS,
+        detection_matrix,
+        render_detection,
+        run_detection,
+    )
+    from repro.vendors import vendor
+
+    chaos = None
+    if args.chaos is not None:
+        from repro.chaos import ChaosSpec
+
+        chaos = ChaosSpec(
+            plan=args.chaos,
+            intensity=args.intensity,
+            resilience=not args.no_resilience,
+        )
+    attacks = (
+        tuple(sorted(ATTACK_CAMPAIGNS)) if args.attack == "all" else (args.attack,)
+    )
+    design = vendor(args.vendor)
+    runs = run_detection(
+        design,
+        attacks=attacks,
+        households=args.households,
+        max_probes=args.probes,
+        workers=args.workers,
+        seed=args.seed,
+        chaos=chaos,
+    )
+    if args.format == "json":
+        return json.dumps(detection_matrix(runs), indent=2, sort_keys=True)
+    return render_detection(design, runs, chaos=chaos)
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> str:
@@ -426,7 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="sharded parallel fleet campaign across worker processes"
     )
     campaign.add_argument("--vendor", default="OZWI")
-    campaign.add_argument("--mode", choices=["binding-dos", "mass-unbind"],
+    campaign.add_argument("--mode",
+                          choices=["binding-dos", "mass-unbind",
+                                   "shadow-probe", "mass-rebind"],
                           default="binding-dos")
     campaign.add_argument("--households", type=int, default=100)
     campaign.add_argument("--probes", type=int, default=256,
@@ -448,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-resilience", action="store_true",
                           help="leave devices/apps without retry/backoff "
                                "clients under chaos")
+    campaign.add_argument("--detect", action="store_true",
+                          help="attach the read-only detection pipeline "
+                               "and score it against ground truth")
     campaign.set_defaults(run=_cmd_campaign)
 
     chaos = sub.add_parser(
@@ -462,7 +532,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="virtual seconds to run (run action)")
     chaos.add_argument("--intensity", type=float, default=1.0)
     chaos.add_argument("--no-resilience", action="store_true")
+    chaos.add_argument("--format", choices=["text", "json"], default="text",
+                       help="run action: emit the same dict the "
+                            "benchmarks consume")
     chaos.set_defaults(run=_cmd_chaos)
+
+    detect = sub.add_parser(
+        "detect",
+        help="score the cloud-side detectors against labelled attack campaigns",
+    )
+    detect.add_argument("--vendor", default="OZWI")
+    detect.add_argument("--attack", choices=["A1", "A2", "A3", "A4", "all"],
+                        default="all",
+                        help="Table II attack class to evaluate")
+    detect.add_argument("--households", type=int, default=12)
+    detect.add_argument("--probes", type=int, default=32,
+                        help="fleet-wide ID-space probe budget")
+    detect.add_argument("--workers", type=int, default=1)
+    detect.add_argument("--chaos", default=None, metavar="PLAN",
+                        help="evaluate under a named fault plan "
+                             "(false-positive rate under faults)")
+    detect.add_argument("--intensity", type=float, default=1.0)
+    detect.add_argument("--no-resilience", action="store_true")
+    detect.add_argument("--format", choices=["text", "json"], default="text")
+    detect.set_defaults(run=_cmd_detect)
 
     snapshot = sub.add_parser(
         "snapshot", help="save / inspect / load a cloud state snapshot (v2)"

@@ -29,6 +29,7 @@ class AuditEntry:
     summary: str
     outcome: str  # "ok" or a rejection code
     detail: str = ""
+    trace_id: str = ""  # causal chain id from the request packet, if any
 
     def line(self) -> str:
         """One fixed-width log line."""
@@ -55,9 +56,12 @@ class AuditLog:
         summary: str,
         outcome: str = "ok",
         detail: str = "",
+        trace_id: str = "",
     ) -> None:
         """Append one entry; forward it to the observer when installed."""
-        entry = AuditEntry(time, source_node, source_ip, summary, outcome, detail)
+        entry = AuditEntry(
+            time, source_node, source_ip, summary, outcome, detail, trace_id
+        )
         self.entries.append(entry)
         if self._observer is not None:
             self._observer.on_audit(entry)

@@ -392,7 +392,13 @@ class EndpointHandlers:
                 )
         svc.relay.queue_command(
             message.device_id,
-            QueuedCommand(message.command, dict(message.arguments), user, svc.now),
+            QueuedCommand(
+                message.command,
+                dict(message.arguments),
+                user,
+                svc.now,
+                trace_id=packet.trace.trace_id if packet.trace is not None else None,
+            ),
         )
         return Response(payload={"queued": message.command})
 

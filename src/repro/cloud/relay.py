@@ -25,12 +25,18 @@ from repro.cloud.state.protocol import Record, RecordStoreBase
 
 @dataclass(frozen=True)
 class QueuedCommand:
-    """A pending user->device command."""
+    """A pending user->device command.
+
+    ``trace_id`` carries the issuing request's causal chain id across
+    the store-and-forward hop, so the device's eventual poll/execute can
+    be correlated back to the user (or attacker) who queued it.
+    """
 
     command: str
     arguments: Mapping[str, Any]
     issued_by: str
     issued_at: float
+    trace_id: Optional[str] = None
 
 
 @dataclass

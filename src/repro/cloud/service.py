@@ -38,6 +38,7 @@ from repro.core.messages import (
     LoginRequest,
     Message,
     QueryRequest,
+    Response,
     ScheduleUpdate,
     ShareRequest,
     ShareRevoke,
@@ -47,11 +48,22 @@ from repro.core.messages import (
 )
 from repro.core.shadow import DeviceShadow
 from repro.identity.keys import PublicKey
-from repro.identity.tokens import TokenService
+from repro.identity.tokens import TokenKind, TokenService
 from repro.net.network import Network
 from repro.net.packet import Packet
+from repro.obs.detect.timeline import ForensicTimeline
 from repro.obs.observer import NULL_OBSERVER
 from repro.sim.environment import Environment
+
+#: Message types that land on a device shadow's forensic timeline,
+#: mapped to the timeline's event kind.
+_FORENSIC_KINDS = {
+    StatusMessage: "status",
+    BindMessage: "bind",
+    UnbindMessage: "unbind",
+    ControlMessage: "control",
+    DeviceFetch: "fetch",
+}
 
 
 class CloudService:
@@ -89,6 +101,9 @@ class CloudService:
         #: per-account unknown-device bind failures (enumeration defence)
         self.bind_probe_failures: dict = {}
         self.events = EventFeed()
+        #: per-shadow forensic evidence (always on; read-only consumers
+        #: subscribe via ``forensics.add_sink``)
+        self.forensics = ForensicTimeline()
         self._handlers = EndpointHandlers(self)
         self._sweep_handle = None
         self._sweep_active = False
@@ -182,6 +197,7 @@ class CloudService:
             "shadows": self.shadows,
             "relay": self.relay,
             "events": self.events,
+            "forensics": self.forensics,
         }
 
     def state_counts(self) -> Dict[str, Dict[str, int]]:
@@ -241,8 +257,23 @@ class CloudService:
     # -- request dispatch -----------------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> Message:
-        """Network entry point: dispatch by message type, audit everything."""
+        """Network entry point: dispatch by message type, audit everything.
+
+        Binding-affecting messages additionally land on the forensic
+        timeline — on both outcomes — with the pre-dispatch binding
+        owner and claimed actor captured here, where the request's
+        before/after states are both visible.
+        """
         message = packet.message
+        trace_id = packet.trace.trace_id if packet.trace is not None else ""
+        forensic_kind = _FORENSIC_KINDS.get(type(message))
+        bound_before = ""
+        actor = ""
+        if forensic_kind is not None:
+            device_id = getattr(message, "device_id", None) or ""
+            if device_id:
+                bound_before = self.bindings.bound_user(device_id) or ""
+            actor = self._claimed_actor(message)
         with self._observer.profile("cloud.handle_packet"):
             try:
                 response = self._dispatch(packet, message)
@@ -254,12 +285,74 @@ class CloudService:
                     describe(message),
                     exc.code,
                     exc.detail,
+                    trace_id,
                 )
+                if forensic_kind is not None:
+                    self._record_forensic(
+                        packet, forensic_kind, exc.code, actor, bound_before
+                    )
                 raise
             self.audit.record(
-                self.now, packet.src, str(packet.observed_src_ip), describe(message)
+                self.now,
+                packet.src,
+                str(packet.observed_src_ip),
+                describe(message),
+                trace_id=trace_id,
             )
+            if forensic_kind is not None:
+                replaced = isinstance(response, Response) and bool(
+                    response.payload.get("replaced", False)
+                )
+                self._record_forensic(
+                    packet, forensic_kind, "ok", actor, bound_before, replaced
+                )
         return response
+
+    def _claimed_actor(self, message: Message) -> str:
+        """The identity a watched message claims, without enforcing it.
+
+        Resolution is strictly read-only (token table lookups): a user
+        token maps to its account, device-submitted credentials name
+        their user, a capability BindToken names its subject, and pure
+        device-credential messages claim the device id itself.
+        """
+        user_token = getattr(message, "user_token", None)
+        if user_token is not None:
+            return self.accounts.user_for_token(user_token) or ""
+        user_id = getattr(message, "user_id", None)
+        if user_id is not None:
+            return user_id
+        bind_token = getattr(message, "bind_token", None)
+        if bind_token is not None:
+            record = self.tokens.lookup(bind_token, TokenKind.BIND)
+            return record.subject if record is not None else ""
+        return getattr(message, "device_id", None) or ""
+
+    def _record_forensic(
+        self,
+        packet: Packet,
+        kind: str,
+        outcome: str,
+        actor: str,
+        bound_before: str,
+        replaced: bool = False,
+    ) -> None:
+        """Append one event to the forensic timeline (always on)."""
+        trace = packet.trace
+        self.forensics.record(
+            time=self.now,
+            device_id=getattr(packet.message, "device_id", None) or "",
+            kind=kind,
+            summary=describe(packet.message),
+            source=packet.src,
+            origin_ip=str(packet.observed_src_ip),
+            trace_id=trace.trace_id if trace is not None else "",
+            span_id=trace.span_id if trace is not None else "",
+            outcome=outcome,
+            actor=actor,
+            bound_before=bound_before,
+            replaced=replaced,
+        )
 
     def _dispatch(self, packet: Packet, message: Message) -> Message:
         handlers = self._handlers

@@ -31,6 +31,7 @@ from repro.core.messages import Message
 from repro.net.address import IpAddress
 from repro.net.lan import Lan
 from repro.net.packet import Exchange, Packet
+from repro.obs.trace import TraceContext
 from repro.sim.environment import Environment
 
 Handler = Callable[[Packet], Message]
@@ -97,6 +98,15 @@ class Network:
         #: named fault filters, consulted in installation order around
         #: every delivery (the chaos seam; see ``docs/chaos.md``)
         self._fault_filters: Dict[str, FaultFilter] = {}
+        # Trace minting state.  Plain monotonic counters — NEVER the
+        # seeded simulation RNG — so tracing cannot perturb the world it
+        # observes.  The stack tracks the context whose handler is
+        # currently running: a request issued from inside a handler (a
+        # device calling the cloud while servicing an app's configure,
+        # Figure 4b) becomes a *child* span in the inbound chain.
+        self._trace_seq = 0
+        self._span_seq = 0
+        self._trace_stack: List[TraceContext] = []
 
     # -- topology ----------------------------------------------------------
 
@@ -262,7 +272,9 @@ class Network:
         now = self.env.now
         for filt in self._fault_filters.values():
             filt.on_request(src, dst, now, timeout=timeout)
+        trace = self._next_trace(src)
         packet = self._build_packet(src, dst, message, encrypted)
+        packet.trace = trace
         proxy = self._proxies.get(src)
         if proxy is not None:
             packet = proxy.process(packet)
@@ -270,21 +282,28 @@ class Network:
         destination = self._require(packet.dst)
         if destination.handler is None:
             raise NetworkError(f"node {packet.dst!r} does not accept requests")
+        self._trace_stack.append(trace)
         try:
             response = destination.handler(packet)
         except RequestRejected as exc:
             self._record(Exchange(packet, _rejection(exc), error_code=exc.code))
             raise
+        finally:
+            self._trace_stack.pop()
         self._record(Exchange(packet, response))
         for filt in self._fault_filters.values():
             if filt.should_duplicate(src, dst, now):
                 # At-least-once delivery: the same request arrives again;
                 # the duplicate's response is recorded but discarded (the
-                # caller already has the first answer).
+                # caller already has the first answer).  The duplicate
+                # carries the SAME trace context — a retry of one cause,
+                # not a new cause.
                 dup_packet = self._build_packet(src, dst, message, encrypted)
+                dup_packet.trace = trace
                 if proxy is not None:
                     dup_packet = proxy.process(dup_packet)
                     dup_packet.via_proxy = proxy.name
+                self._trace_stack.append(trace)
                 try:
                     dup_response = destination.handler(dup_packet)
                 except RequestRejected as exc:
@@ -293,6 +312,8 @@ class Network:
                     )
                 else:
                     self._record(Exchange(dup_packet, dup_response))
+                finally:
+                    self._trace_stack.pop()
                 break
         return response
 
@@ -306,21 +327,49 @@ class Network:
         members = sorted(lan.members())
         for filt in self._fault_filters.values():
             members = filt.deliver_order(src, members, self.env.now)
+        # One trace for the whole broadcast; each member delivery is a
+        # child hop so discovery fan-out renders as one causal tree.
+        broadcast_trace = self._next_trace(src)
         for member in members:
             target = self._nodes.get(member)
             if member == src or target is None or target.handler is None:
                 continue
             packet = self._build_packet(src, member, message, encrypted)
+            packet.trace = broadcast_trace.child(self._next_span_id())
+            self._trace_stack.append(packet.trace)
             try:
                 response = target.handler(packet)
                 exchange = Exchange(packet, response)
             except RequestRejected as exc:
                 exchange = Exchange(packet, _rejection(exc), error_code=exc.code)
+            finally:
+                self._trace_stack.pop()
             self._record(exchange)
             exchanges.append(exchange)
         return exchanges
 
     # -- internals -------------------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        """Mint the next span id from the plain per-network counter."""
+        self._span_seq += 1
+        return f"s{self._span_seq:06d}"
+
+    def _next_trace(self, src: str) -> TraceContext:
+        """The trace context for a request originating at *src* now.
+
+        A fresh root chain when no handler is running; a child of the
+        in-flight request's context otherwise (nested call).
+        """
+        if self._trace_stack:
+            return self._trace_stack[-1].child(self._next_span_id())
+        self._trace_seq += 1
+        return TraceContext(
+            trace_id=f"T{self._trace_seq:06d}",
+            span_id=self._next_span_id(),
+            parent_id=None,
+            origin=src,
+        )
 
     def _build_packet(self, src: str, dst: str, message: Message, encrypted: bool) -> Packet:
         source = self._require(src)

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.core.messages import Message, describe
 from repro.net.address import IpAddress
+from repro.obs.trace import TraceContext
 
 
 @dataclass
@@ -17,6 +18,10 @@ class Packet:
     NAT, this is the LAN's router public IP.  Device #7's binding check
     compares exactly this field between the app's and the device's
     requests (Section VI-B).
+
+    ``trace`` is the causal trace context minted by the network at the
+    *originating* node of the request chain; nested requests carry child
+    contexts sharing the same ``trace_id`` (see ``repro.obs.trace``).
     """
 
     src: str
@@ -26,6 +31,7 @@ class Packet:
     encrypted: bool = True
     time: float = 0.0
     via_proxy: Optional[str] = None
+    trace: Optional[TraceContext] = None
 
     def summary(self) -> str:
         """Compact one-line rendering for captures and traces."""

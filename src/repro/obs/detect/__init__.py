@@ -1,0 +1,45 @@
+"""Defender-side detection: forensic timelines, detectors, scoring.
+
+The paper's Table III observation is that *no* studied vendor surfaces
+binding changes to anyone — attacks succeed silently.  This package is
+the missing cloud-side vantage point, layered on the PR 1 observability
+seam and the causal trace contexts every packet now carries:
+
+* :mod:`repro.obs.detect.timeline` — :class:`ForensicTimeline`, the
+  ninth cloud state store: per device shadow, the ordered sequence of
+  binding-affecting exchanges with source identity, network origin and
+  trace ids (journaled + snapshot-v2 like the rest);
+* :mod:`repro.obs.detect.alerts` — the typed :class:`Alert` record;
+* :mod:`repro.obs.detect.detectors` — streaming rule-based detectors
+  for the Table II taxonomy (A1 shadow-data probes, A2 bind storms,
+  A3 rogue unbinds, A4 rebind hijacks, plus ID-enumeration ramps);
+* :mod:`repro.obs.detect.pipeline` — :class:`DetectionPipeline`, the
+  read-only consumer wiring detectors to a live cloud's timeline;
+* :mod:`repro.obs.detect.score` — precision / recall / time-to-detect
+  against campaign ground truth, with a deterministic shard merge.
+
+The evaluation harness (:mod:`repro.obs.detect.harness`) is imported
+separately by the CLI — importing this package must stay cheap and
+free of cycles (the parallel engine imports the pipeline).
+"""
+
+from repro.obs.detect.alerts import Alert
+from repro.obs.detect.detectors import default_detectors
+from repro.obs.detect.pipeline import DetectionPipeline
+from repro.obs.detect.score import (
+    DEFAULT_ATTACKER_SOURCES,
+    merge_detection,
+    score_detection,
+)
+from repro.obs.detect.timeline import ForensicEvent, ForensicTimeline
+
+__all__ = [
+    "Alert",
+    "DEFAULT_ATTACKER_SOURCES",
+    "DetectionPipeline",
+    "ForensicEvent",
+    "ForensicTimeline",
+    "default_detectors",
+    "merge_detection",
+    "score_detection",
+]

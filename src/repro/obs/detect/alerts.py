@@ -1,0 +1,43 @@
+"""Typed detector verdicts.
+
+An :class:`Alert` is the unit of detector output: which rule fired, how
+bad it is, which device and sending node it implicates, and — the part
+that makes it *forensic* rather than anecdotal — the evidence trace ids
+tying it back to the exact causal chains in the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
+
+#: Alert severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector verdict with its evidence chain."""
+
+    rule: str  # detector rule name, e.g. "bind-storm"
+    severity: str  # one of SEVERITIES
+    time: float  # virtual time the rule fired
+    device_id: str  # implicated shadow ("" for source-wide rules)
+    source: str  # implicated sending node
+    reason: str  # human-readable one-liner
+    evidence: Tuple[str, ...] = ()  # trace ids of the triggering events
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (evidence becomes a list)."""
+        data = asdict(self)
+        data["evidence"] = list(self.evidence)
+        return data
+
+    def line(self) -> str:
+        """One fixed-width log line for reports."""
+        mark = {"info": "i", "warning": "?", "critical": "!"}.get(self.severity, "?")
+        where = self.device_id or self.source
+        return (
+            f"{mark} [t={self.time:8.3f}] {self.rule:<16} {where:<22} "
+            f"{self.reason}"
+        )

@@ -1,0 +1,154 @@
+"""Precision / recall / time-to-detect against campaign ground truth.
+
+The simulation gives us perfect labels: campaign attack traffic
+originates at known attacker nodes, and the network stamps the true
+sending node on every packet — so a forensic event is *malicious* iff
+its ``source`` is an attacker node, regardless of what identity the
+message claimed.  Alerts are scored the same way (an alert implicating
+an attacker node is a true positive), and a malicious event counts as
+*covered* when some true alert cites its trace id as evidence.
+
+All numbers needed to recompute the ratios are kept in the score dict,
+so :func:`merge_detection` can fold per-shard scores by summing counts
+and re-deriving precision/recall — deterministically, in shard order,
+independent of worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.detect.alerts import Alert
+from repro.obs.detect.timeline import ForensicEvent
+
+#: The attacker node names used by ``repro.attacks`` campaigns and
+#: scenarios; ground-truth labelling keys on these (the network stamps
+#: the true sender — identity claims in messages are irrelevant here).
+DEFAULT_ATTACKER_SOURCES = frozenset(
+    {"attacker:host", "app:attacker", "device:attacker"}
+)
+
+
+def score_detection(
+    events: Sequence[ForensicEvent],
+    alerts: Sequence[Alert],
+    attacker_sources: Optional[Iterable[str]] = None,
+) -> Dict[str, Any]:
+    """Score *alerts* against the ground-truth labelling of *events*."""
+    sources = frozenset(
+        attacker_sources if attacker_sources is not None else DEFAULT_ATTACKER_SOURCES
+    )
+    malicious = [e for e in events if e.source in sources]
+    benign_count = len(events) - len(malicious)
+
+    true_alerts = [a for a in alerts if a.source in sources]
+    false_alerts = [a for a in alerts if a.source not in sources]
+
+    cited = set()
+    for alert in true_alerts:
+        cited.update(alert.evidence)
+    covered = sum(1 for e in malicious if e.trace_id and e.trace_id in cited)
+
+    first_malicious = min((e.time for e in malicious), default=None)
+    first_true_alert = min((a.time for a in true_alerts), default=None)
+    time_to_detect: Optional[float] = None
+    if first_malicious is not None and first_true_alert is not None:
+        time_to_detect = max(0.0, first_true_alert - first_malicious)
+
+    by_rule: Dict[str, int] = {}
+    by_severity: Dict[str, int] = {}
+    for alert in alerts:
+        by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
+        by_severity[alert.severity] = by_severity.get(alert.severity, 0) + 1
+
+    score = {
+        "events": len(events),
+        "malicious_events": len(malicious),
+        "benign_events": benign_count,
+        "alerts": len(alerts),
+        "true_alerts": len(true_alerts),
+        "false_alerts": len(false_alerts),
+        "covered_events": covered,
+        "time_to_detect": time_to_detect,
+        "alerts_by_rule": by_rule,
+        "alerts_by_severity": by_severity,
+    }
+    return _with_ratios(score)
+
+
+def merge_detection(
+    per_shard: Sequence[Optional[Dict[str, Any]]]
+) -> Optional[Dict[str, Any]]:
+    """Fold per-shard detection scores into fleet-wide numbers.
+
+    Counts sum; ratios are re-derived from the summed counts;
+    time-to-detect is the earliest non-``None`` shard value (shard
+    clocks all start at zero, so the minimum is the fleet's first
+    detection).  ``None`` inputs (shards without detection) are skipped;
+    all-``None`` input yields ``None``.
+    """
+    scores = [s for s in per_shard if s is not None]
+    if not scores:
+        return None
+    count_keys = (
+        "events",
+        "malicious_events",
+        "benign_events",
+        "alerts",
+        "true_alerts",
+        "false_alerts",
+        "covered_events",
+    )
+    merged: Dict[str, Any] = {key: 0 for key in count_keys}
+    by_rule: Dict[str, int] = {}
+    by_severity: Dict[str, int] = {}
+    ttds: List[float] = []
+    for score in scores:
+        for key in count_keys:
+            merged[key] += int(score.get(key, 0))
+        for rule, count in score.get("alerts_by_rule", {}).items():
+            by_rule[rule] = by_rule.get(rule, 0) + count
+        for severity, count in score.get("alerts_by_severity", {}).items():
+            by_severity[severity] = by_severity.get(severity, 0) + count
+        if score.get("time_to_detect") is not None:
+            ttds.append(float(score["time_to_detect"]))
+    merged["alerts_by_rule"] = dict(sorted(by_rule.items()))
+    merged["alerts_by_severity"] = dict(sorted(by_severity.items()))
+    merged["time_to_detect"] = min(ttds) if ttds else None
+    return _with_ratios(merged)
+
+
+def _with_ratios(score: Dict[str, Any]) -> Dict[str, Any]:
+    """Derive precision / recall / FP-rate from the counts in place."""
+    alerts = score["alerts"]
+    malicious = score["malicious_events"]
+    benign = score["benign_events"]
+    score["precision"] = (score["true_alerts"] / alerts) if alerts else 1.0
+    score["recall"] = (score["covered_events"] / malicious) if malicious else 1.0
+    score["false_positive_rate"] = (
+        score["false_alerts"] / benign if benign else 0.0
+    )
+    return score
+
+
+def render_score(score: Dict[str, Any], indent: str = "  ") -> str:
+    """Multi-line human rendering of one detection score dict."""
+    ttd = score.get("time_to_detect")
+    lines = [
+        f"{indent}events: {score['events']} "
+        f"({score['malicious_events']} malicious, {score['benign_events']} benign)",
+        f"{indent}alerts: {score['alerts']} "
+        f"({score['true_alerts']} true, {score['false_alerts']} false)",
+        f"{indent}precision: {score['precision']:.3f}  "
+        f"recall: {score['recall']:.3f}  "
+        f"fp-rate: {score['false_positive_rate']:.4f}",
+        f"{indent}time-to-detect: "
+        + (f"{ttd:.3f}s" if ttd is not None else "undetected"),
+    ]
+    if score.get("alerts_by_rule"):
+        rules = ", ".join(
+            f"{rule}={count}"
+            for rule, count in sorted(score["alerts_by_rule"].items())
+        )
+        lines.append(f"{indent}by rule: {rules}")
+    return "\n".join(lines)

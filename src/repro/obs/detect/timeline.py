@@ -1,0 +1,196 @@
+"""Per-shadow forensic timelines: the cloud's evidence store.
+
+Every binding-affecting exchange the cloud handles (Status, Bind,
+Unbind, Control, DeviceFetch) is materialized here as one
+:class:`ForensicEvent`: which device shadow it touched, who claimed to
+send it, from which network origin, under which causal trace, and what
+the binding looked like *before* the request ran.  The store is the
+ninth :class:`~repro.cloud.state.protocol.RecordStoreBase` store —
+durable, journaled, snapshot-v2 — because forensic evidence that
+evaporates on a cloud restart is not evidence.
+
+Recording is **always on** and read-only with respect to the world:
+events are appended from data the handler path already computed, no RNG
+is consumed, and no response changes.  Streaming consumers (the
+detection pipeline) subscribe via :meth:`ForensicTimeline.add_sink`;
+sinks fire only on *live* recording, never on journal replay or
+snapshot restore, so a recovered cloud does not re-alert on history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cloud.state.protocol import Record, RecordStoreBase
+
+#: A streaming consumer of live forensic events.
+ForensicSink = Callable[["ForensicEvent"], None]
+
+#: The message kinds that affect (or probe) a device shadow's binding.
+WATCHED_KINDS = ("status", "bind", "unbind", "control", "fetch")
+
+
+@dataclass(frozen=True)
+class ForensicEvent:
+    """One binding-affecting exchange, as the cloud saw it.
+
+    ``source`` is the network node that sent the packet (unforgeable in
+    the simulation: the network stamps it); ``actor`` is the *claimed*
+    identity — the user resolved from the message's token, or the
+    device id a device-credential message presented.  ``bound_before``
+    is the binding's owner when the request arrived, which is what lets
+    detectors judge a transition without replaying history.
+    """
+
+    seq: int
+    time: float
+    device_id: str
+    kind: str  # one of WATCHED_KINDS
+    summary: str  # paper-style message rendering (describe())
+    source: str  # sending network node
+    origin_ip: str  # observed source IP (post-NAT)
+    trace_id: str  # causal chain id ("" for direct store writes)
+    span_id: str
+    outcome: str  # "ok" or the rejection code
+    actor: str  # claimed identity ("" when unauthenticated)
+    bound_before: str  # binding owner before the request ("" if unbound)
+    replaced: bool = False  # did a Bind displace an existing owner?
+
+
+class ForensicTimeline(RecordStoreBase):
+    """Append-only, per-device ordered evidence of binding exchanges."""
+
+    state_name = "forensics"
+    durable = True
+
+    def __init__(self) -> None:
+        self._events: List[ForensicEvent] = []
+        self._by_key: Dict[str, int] = {}
+        self._by_device: Dict[str, List[int]] = {}
+        self._sinks: List[ForensicSink] = []
+        self._next_seq = 0
+
+    # -- live recording ------------------------------------------------------
+
+    def add_sink(self, sink: ForensicSink) -> None:
+        """Subscribe a streaming consumer to future live events."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: ForensicSink) -> None:
+        """Unsubscribe a consumer; unknown sinks are a no-op."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def record(
+        self,
+        time: float,
+        device_id: str,
+        kind: str,
+        summary: str,
+        source: str,
+        origin_ip: str,
+        trace_id: str,
+        span_id: str,
+        outcome: str,
+        actor: str,
+        bound_before: str,
+        replaced: bool = False,
+    ) -> ForensicEvent:
+        """Append one live event, journal it, and feed the sinks."""
+        event = ForensicEvent(
+            seq=self._next_seq,
+            time=time,
+            device_id=device_id,
+            kind=kind,
+            summary=summary,
+            source=source,
+            origin_ip=origin_ip,
+            trace_id=trace_id,
+            span_id=span_id,
+            outcome=outcome,
+            actor=actor,
+            bound_before=bound_before,
+            replaced=replaced,
+        )
+        self._append(event)
+        self._record_put(self.to_record(event))
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    # -- read access ---------------------------------------------------------
+
+    def events(self) -> List[ForensicEvent]:
+        """Every event in sequence order."""
+        return list(self._events)
+
+    def timeline(self, device_id: str) -> List[ForensicEvent]:
+        """The ordered evidence for one device shadow."""
+        return [self._events[i] for i in self._by_device.get(device_id, [])]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- internals -----------------------------------------------------------
+
+    def _append(self, event: ForensicEvent) -> None:
+        key = self._key_for_seq(event.seq)
+        if key in self._by_key:
+            # Replay upsert of an already-present seq: evidence records
+            # are immutable, so an idempotent overwrite keeps indices.
+            self._events[self._by_key[key]] = event
+        else:
+            self._by_key[key] = len(self._events)
+            self._events.append(event)
+            self._by_device.setdefault(event.device_id, []).append(
+                self._by_key[key]
+            )
+        self._next_seq = max(self._next_seq, event.seq + 1)
+
+    @staticmethod
+    def _key_for_seq(seq: int) -> str:
+        return f"e:{seq:08d}"
+
+    # -- StateStore protocol --------------------------------------------------
+
+    def to_record(self, obj: Any) -> Record:
+        """Encode one :class:`ForensicEvent` as a flat record."""
+        return asdict(obj)
+
+    def from_record(self, record: Record) -> Any:
+        """Decode one record back into a :class:`ForensicEvent`."""
+        return ForensicEvent(**record)
+
+    def record_key(self, record: Record) -> str:
+        """Events are keyed by zero-padded sequence number."""
+        return self._key_for_seq(int(record["seq"]))
+
+    def record_count(self) -> int:
+        """Number of stored events."""
+        return len(self._events)
+
+    def snapshot_state(self) -> List[Record]:
+        """Every event record, in sequence order (already sorted)."""
+        return [self.to_record(event) for event in self._events]
+
+    def apply_record(self, record: Record) -> Any:
+        """Upsert one event (restore / journal replay / clone).
+
+        Never fires sinks: replayed history is context for
+        :meth:`~repro.obs.detect.pipeline.DetectionPipeline.catch_up`,
+        not a fresh observation.
+        """
+        event = self.from_record(record)
+        self._append(event)
+        self._record_put(record)
+        return event
+
+    def discard_record(self, key: str) -> bool:
+        """Refuse deletion: the timeline is append-only evidence."""
+        return False
+
+    def find_record(self, key: str) -> Optional[Record]:
+        """O(1) lookup of one event record by its ``e:<seq>`` key."""
+        index = self._by_key.get(key)
+        return self.to_record(self._events[index]) if index is not None else None

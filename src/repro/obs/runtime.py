@@ -81,9 +81,14 @@ class Observability(Observer):
         else:
             self.metrics.counter("cloud.audit.rejected").inc()
         if self.trace_messages:
-            self.tracer.event(
-                entry.summary, source=entry.source_node, outcome=entry.outcome
-            )
+            attrs = {"source": entry.source_node, "outcome": entry.outcome}
+            trace_id = getattr(entry, "trace_id", "")
+            if trace_id:
+                # Cross-node correlation: the exchange leaf carries the
+                # causal chain id the packet brought in, so per-process
+                # span trees can be joined into end-to-end chains.
+                attrs["trace"] = trace_id
+            self.tracer.event(entry.summary, **attrs)
 
     def on_shadow_transition(
         self, device_id: str, event: Any, before: Any, after: Any, time: float

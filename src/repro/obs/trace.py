@@ -1,0 +1,57 @@
+"""Causal trace contexts: correlation ids carried by every packet.
+
+The PR 1 tracer records spans *per process*; nothing ties the app's
+request, the device's resulting cloud call, and the cloud's audit entry
+into one causal chain.  :class:`TraceContext` is the missing
+correlation record: the network mints a context for every request at
+the originating node (app, device, attacker), nested requests issued
+while a handler is running become *children* of the inbound context,
+and at-least-once duplicates reuse the original context verbatim — so
+a delivery retry is visibly the *same* cause, not a new one.
+
+Ids are drawn from plain per-network counters, never from the seeded
+simulation RNG: tracing must not perturb the world it observes (two
+same-seed runs, with or without any detection consumer attached, build
+bit-identical worlds and mint bit-identical trace ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's position in a cross-node causal chain.
+
+    ``trace_id`` names the whole chain (shared by every causally related
+    request); ``span_id`` names this hop; ``parent_id`` is the span id
+    of the request whose handler issued this one (``None`` at the
+    origin); ``origin`` is the node name where the chain started — for
+    forged traffic, that is the attacker's own host, whatever identity
+    the message layer claims.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    origin: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this context started its chain (no parent hop)."""
+        return self.parent_id is None
+
+    def child(self, span_id: str) -> "TraceContext":
+        """A new hop in the same chain, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_id=self.span_id,
+            origin=self.origin,
+        )
+
+    def short(self) -> str:
+        """Compact ``trace/span`` rendering for log lines."""
+        return f"{self.trace_id}/{self.span_id}"

@@ -35,7 +35,9 @@ from typing import Any, Dict, List, Optional
 from repro.attacks.campaign import (
     CampaignReport,
     campaign_binding_dos,
+    campaign_mass_rebind,
     campaign_mass_unbind,
+    campaign_shadow_probe,
 )
 from repro.chaos.campaign import (
     ChaosSpec,
@@ -46,13 +48,18 @@ from repro.chaos.campaign import (
 from repro.cloud.policy import VendorDesign
 from repro.core.errors import ConfigurationError
 from repro.fleet import FleetDeployment
+from repro.obs.detect.pipeline import DetectionPipeline
+from repro.obs.detect.score import merge_detection, score_detection
 from repro.obs.export import merge_snapshots, snapshot
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
 from repro.parallel.shards import derive_shard_seed, partition
 
 #: Campaigns the engine can shard.
-CAMPAIGNS = ("binding-dos", "mass-unbind")
+CAMPAIGNS = ("binding-dos", "mass-unbind", "shadow-probe", "mass-rebind")
+
+#: Campaigns that attack an already-deployed (set-up) fleet.
+_DEPLOYED_CAMPAIGNS = ("mass-unbind", "shadow-probe", "mass-rebind")
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,9 @@ class ShardSpec:
     #: optional chaos configuration; the plan is materialized inside the
     #: shard world so its fault RNG derives from the shard seed
     chaos: Optional[ChaosSpec] = None
+    #: attach a read-only detection pipeline to the shard cloud and
+    #: score it against ground truth (never perturbs the world)
+    detect: bool = False
 
 
 @dataclass
@@ -94,6 +104,9 @@ class ShardResult:
     #: chaos summary for this shard (plan, injector stats, restarts,
     #: resilience totals, binding liveness); ``None`` on calm runs
     chaos: Optional[Dict[str, Any]] = None
+    #: detection score for this shard (``repro.obs.detect.score``);
+    #: ``None`` when the shard ran without detection
+    detection: Optional[Dict[str, Any]] = None
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -115,14 +128,23 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     controller = None
     if spec.chaos is not None:
         controller = apply_chaos(fleet, spec.chaos)
+    pipeline: Optional[DetectionPipeline] = None
+    if spec.detect:
+        pipeline = DetectionPipeline()
+        pipeline.attach(fleet.cloud)
     if spec.campaign == "binding-dos":
         report = campaign_binding_dos(
             fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
         )
-    elif spec.campaign == "mass-unbind":
+    elif spec.campaign in _DEPLOYED_CAMPAIGNS:
+        runner = {
+            "mass-unbind": campaign_mass_unbind,
+            "shadow-probe": campaign_shadow_probe,
+            "mass-rebind": campaign_mass_rebind,
+        }[spec.campaign]
         fleet.setup_all()
         fleet.run(spec.run_seconds)
-        report = campaign_mass_unbind(
+        report = runner(
             fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
         )
     else:
@@ -136,6 +158,15 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         chaos_summary["intensity"] = spec.chaos.intensity
         chaos_summary["resilience_enabled"] = spec.chaos.resilience
         chaos_summary["liveness"] = binding_liveness(fleet)
+    detection_score: Optional[Dict[str, Any]] = None
+    if pipeline is not None:
+        # A chaos CloudRestart replaces fleet.cloud with the recovered
+        # successor; catch_up re-reads whichever cloud finished the run
+        # (seq-deduplicated, so unreplaced clouds are a no-op).
+        pipeline.catch_up(fleet.cloud)
+        detection_score = score_detection(
+            fleet.cloud.forensics.events(), pipeline.alerts
+        )
     return ShardResult(
         shard_index=spec.shard_index,
         seed=spec.seed,
@@ -147,6 +178,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         wall_seconds=time.perf_counter() - started,
         state_counts=fleet.cloud.state_counts(),
         chaos=chaos_summary,
+        detection=detection_score,
     )
 
 
@@ -211,6 +243,44 @@ class ShardedCampaignResult:
             [result.state_counts for result in self.shard_results]
         )
 
+    @property
+    def detection(self) -> Optional[Dict[str, Any]]:
+        """Fleet-wide detection score (``None`` when detection was off).
+
+        Merged in shard order from the per-shard scores, so the result
+        is bit-identical for any worker count over the same shards.
+        """
+        return merge_detection(
+            [result.detection for result in self.shard_results]
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able report dict (what the benchmarks/CLI JSON consume)."""
+        data: Dict[str, Any] = {
+            "campaign": self.campaign,
+            "vendor": self.vendor,
+            "workers": self.workers,
+            "shards": self.shards,
+            "seed": self.seed,
+            "households": self.report.households,
+            "ids_probed": self.report.ids_probed,
+            "ids_hit": self.report.ids_hit,
+            "victims_denied": self.report.victims_denied,
+            "denial_rate": self.report.denial_rate,
+            "modelled_seconds": self.report.modelled_seconds,
+            "details": list(self.report.details),
+            "audit_entries": self.audit_entries_total,
+            "consistent": self.consistent,
+            "state_counts": self.state_counts,
+        }
+        liveness = self.liveness
+        if liveness is not None:
+            data["liveness"] = liveness
+        detection = self.detection
+        if detection is not None:
+            data["detection"] = detection
+        return data
+
     def render(self) -> str:
         """Multi-line summary: merged report, shard table, consistency."""
         lines = [self.report.render(), ""]
@@ -267,6 +337,17 @@ class ShardedCampaignResult:
                     for name, counts in sorted(state.items())
                 )
             )
+        detection = self.detection
+        if detection is not None:
+            ttd = detection["time_to_detect"]
+            lines.append(
+                f"detection: precision={detection['precision']:.3f} "
+                f"recall={detection['recall']:.3f} "
+                f"fp-rate={detection['false_positive_rate']:.4f} "
+                f"time-to-detect="
+                + (f"{ttd:.3f}s" if ttd is not None else "undetected")
+                + f" ({detection['alerts']} alerts over {detection['events']} events)"
+            )
         return "\n".join(lines)
 
 
@@ -295,6 +376,7 @@ def build_shard_specs(
     trace_messages: bool = True,
     snapshot_max_spans: Optional[int] = None,
     chaos: Optional[ChaosSpec] = None,
+    detect: bool = False,
 ) -> List[ShardSpec]:
     """Partition one campaign into per-shard specs.
 
@@ -328,6 +410,7 @@ def build_shard_specs(
             trace_messages=trace_messages,
             snapshot_max_spans=snapshot_max_spans,
             chaos=chaos,
+            detect=detect,
         )
         for index in range(shards)
     ]
@@ -348,6 +431,7 @@ def run_campaign(
     snapshot_max_spans: Optional[int] = None,
     mp_start: Optional[str] = None,
     chaos: Optional[ChaosSpec] = None,
+    detect: bool = False,
 ) -> ShardedCampaignResult:
     """Run one fleet campaign sharded across *workers* processes.
 
@@ -366,7 +450,7 @@ def run_campaign(
         shards=shards if shards is not None else workers, seed=seed,
         request_rate=request_rate, build=build, run_seconds=run_seconds,
         trace_messages=trace_messages, snapshot_max_spans=snapshot_max_spans,
-        chaos=chaos,
+        chaos=chaos, detect=detect,
     )
     started = time.perf_counter()
     if workers == 1 or len(specs) == 1:
