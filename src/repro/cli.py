@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro secure              # attack the recommended designs
     python -m repro obs                 # traced fleet campaign run report
     python -m repro campaign --workers 4 --households 400
+    python -m repro campaign --workers 4 --pool --repeat 3   # warm-started
     python -m repro campaign --households 8 --chaos lossy-lan
     python -m repro chaos list                 # fault-plan catalog
     python -m repro chaos run cloud-restart --seconds 120
@@ -211,8 +212,7 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             intensity=args.intensity,
             resilience=not args.no_resilience,
         )
-    result = run_campaign(
-        vendor(args.vendor),
+    campaign_kwargs = dict(
         campaign=args.mode,
         households=args.households,
         max_probes=args.probes,
@@ -223,13 +223,38 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         chaos=chaos,
         detect=args.detect,
     )
+    design = vendor(args.vendor)
+    repeats = max(1, args.repeat)
+    results = []
+    if args.pool:
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(
+            workers=args.workers, warm_start=not args.no_warm_start
+        ) as pool:
+            for _ in range(repeats):
+                results.append(
+                    run_campaign(design, worker_pool=pool, **campaign_kwargs)
+                )
+    else:
+        for _ in range(repeats):
+            results.append(run_campaign(design, **campaign_kwargs))
+    result = results[-1]
     if args.format == "json":
-        return json.dumps(
-            {"report": result.to_dict(), "snapshot": result.snapshot},
-            indent=2,
-            sort_keys=True,
+        payload = {
+            "report": result.to_dict(include_pool=args.pool),
+            "snapshot": result.snapshot,
+        }
+        if repeats > 1:
+            payload["repeats"] = [r.wall_seconds for r in results]
+        return json.dumps(payload, indent=2, sort_keys=True)
+    text = result.render()
+    if repeats > 1:
+        walls = "  ".join(
+            f"#{index}={r.wall_seconds:.2f}s" for index, r in enumerate(results)
         )
-    return result.render()
+        text += f"\nrepeat walls: {walls}"
+    return text
 
 
 def _cmd_chaos(args: argparse.Namespace) -> str:
@@ -518,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--detect", action="store_true",
                           help="attach the read-only detection pipeline "
                                "and score it against ground truth")
+    campaign.add_argument("--pool", action="store_true",
+                          help="run shards through a persistent worker pool "
+                               "(heartbeats, crash-respawn, warm-started "
+                               "worlds) instead of spawn-per-shard")
+    campaign.add_argument("--no-warm-start", action="store_true",
+                          help="with --pool: always rebuild worlds cold "
+                               "instead of restoring cached world images")
+    campaign.add_argument("--repeat", type=int, default=1,
+                          help="run the campaign N times (with --pool the "
+                               "pool persists across repeats, so repeats "
+                               "warm-start); reports the last run")
     campaign.set_defaults(run=_cmd_campaign)
 
     chaos = sub.add_parser(

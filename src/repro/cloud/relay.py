@@ -111,6 +111,34 @@ class Relay(RecordStoreBase):
         else:
             self._note_mutation()
 
+    # -- volatile capture (warm-start restore) --------------------------------
+
+    def capture_volatile(self) -> Dict[str, Any]:
+        """Command queues and latest telemetry, as picklable data.
+
+        Snapshots deliberately drop these (a *restart* legitimately loses
+        in-flight data), but a warm start is not a restart: the restored
+        world must continue exactly where the captured one was, pending
+        commands and all.  Records are immutable dataclasses, so sharing
+        them between the image and restored worlds is safe; the container
+        dicts/lists are copied on both capture and restore.
+        """
+        return {
+            "commands": {
+                device_id: list(queue)
+                for device_id, queue in self._commands.items()
+            },
+            "telemetry": dict(self._telemetry),
+        }
+
+    def restore_volatile(self, data: Dict[str, Any]) -> None:
+        """Install queues/telemetry captured by :meth:`capture_volatile`."""
+        self._commands = {
+            device_id: list(queue)
+            for device_id, queue in data.get("commands", {}).items()
+        }
+        self._telemetry = dict(data.get("telemetry", {}))
+
     # -- StateStore protocol --------------------------------------------------
 
     def to_record(self, obj: Any) -> Record:

@@ -25,8 +25,8 @@ from repro.cloud.sharing import ShareStore
 from repro.cloud.state.backends import StateBackend
 from repro.cloud.state.journal import meta_entry
 from repro.cloud.state.protocol import StateStore
-from repro.cloud.state.snapshot import load_snapshot
-from repro.core.errors import ProtocolError, RequestRejected
+from repro.cloud.state.snapshot import build_snapshot, load_snapshot
+from repro.core.errors import ConfigurationError, ProtocolError, RequestRejected
 from repro.core.messages import (
     BindingInfoRequest,
     BindMessage,
@@ -117,8 +117,15 @@ class CloudService:
     def now(self) -> float:
         return self.env.now
 
-    def start_liveness_sweep(self) -> None:
-        """Periodically move silent shadows offline."""
+    def start_liveness_sweep(self, start_delay: Optional[float] = None) -> None:
+        """Periodically move silent shadows offline.
+
+        ``start_delay`` offsets the first firing from *now* (defaulting
+        to one full interval): the warm-start path uses it to re-arm the
+        sweep at exactly the virtual time the captured world's next
+        sweep would have fired, keeping offline-timeout audit entries on
+        the same schedule as a cold-built world.
+        """
         if self._sweep_handle is not None:
             return
         interval = self.design.heartbeat_interval
@@ -137,7 +144,7 @@ class CloudService:
                     self.notify(bound, "device-offline", device_id,
                                 "heartbeats stopped")
 
-        self._sweep_handle = self.env.every(interval, sweep)
+        self._sweep_handle = self.env.every(interval, sweep, start_delay=start_delay)
 
     def shutdown(self) -> None:
         """Take this cloud off the air (simulated restart/crash).
@@ -237,6 +244,93 @@ class CloudService:
     def journal_backend(self) -> Optional[StateBackend]:
         """The attached journal backend, if any."""
         return self._journal_backend
+
+    # -- campaign warm start -------------------------------------------------
+
+    def capture_campaign_state(self) -> Dict[str, Any]:
+        """Everything needed to resume this cloud mid-run, as picklable data.
+
+        Snapshot v2 is the durable core, but a *restart* deliberately
+        sheds state a *warm start* must keep: live shadows (a restart is
+        a mass-offline event), relay queues/telemetry, the enumeration
+        defence counters, the full audit log, the token RNG's stream
+        position, per-store churn counters, and the liveness sweep's
+        phase.  This captures the durable snapshot plus those overlays;
+        :meth:`restore_campaign_state` reinstalls both halves.
+        """
+        return {
+            "snapshot": build_snapshot(self),
+            "shadows": self.shadows.snapshot_state(),
+            "relay_volatile": self.relay.capture_volatile(),
+            "bind_probe_failures": dict(self.bind_probe_failures),
+            "audit_entries": list(self.audit.entries),
+            "token_rng": self.tokens.rng_state(),
+            "mutations": {
+                name: store.merge_counts()["mutations"]
+                for name, store in self.state_stores().items()
+            },
+            "sweep_next": (
+                self._sweep_handle.time if self._sweep_handle is not None else None
+            ),
+            "time": self.now,
+        }
+
+    def restore_campaign_state(self, state: Dict[str, Any]) -> None:
+        """Resume a captured world image on this freshly built cloud.
+
+        The fast path behind warm-started campaign shards: unlike
+        :func:`~repro.cloud.state.snapshot.load_snapshot` (a *restart*,
+        which demands a pristine cloud and sheds volatile state), this
+        overlays the image onto a structurally rebuilt world — the
+        rebuild's records (accounts registered at t=0, manufactured
+        devices) are an identical subset of the image's, so every
+        restore is an idempotent upsert.  After it returns, the next
+        request this cloud serves is bit-identical to what the captured
+        cloud would have produced: same store contents, same shadow
+        states, same audit history, same token stream position, same
+        churn counters, same sweep phase.
+        """
+        snapshot = state["snapshot"]
+        design = snapshot.get("design")
+        if design != self.design.name:
+            raise ConfigurationError(
+                f"world image is for design {design!r}, not {self.design.name!r}"
+            )
+        # Silence the constructor-armed sweep before moving the clock:
+        # its pending entry sits at build-time + interval, which may be
+        # in the restored world's past.
+        self._sweep_active = False
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
+        self.env.clock.advance_to(state["time"])
+        # Durable stores: upsert overlay in store order (accounts and
+        # tokens before the stores whose checks consult them).
+        sections = snapshot.get("stores", {})
+        stores = self.state_stores()
+        for name, store in stores.items():
+            if not store.durable:
+                continue
+            store.restore_state(sections.get(name, []))
+        # Live (not mass-offline) shadows: apply_record re-creates each
+        # shadow through create() — observer hook wired — and replays
+        # its captured facts.
+        self.shadows.restore_state(state["shadows"])
+        self.relay.restore_volatile(state["relay_volatile"])
+        self.bind_probe_failures = dict(state["bind_probe_failures"])
+        # Audit history is installed directly, NOT re-record()ed: the
+        # observer's audit counters are restored wholesale from the
+        # image's metrics snapshot by the fleet-level restore, so firing
+        # on_audit here would double-count.
+        self.audit.entries = list(state["audit_entries"])
+        self.tokens.restore_rng_state(state["token_rng"])
+        # Replaying records as upserts inflated every churn counter;
+        # rewind each to the captured value.
+        for name, mutations in state["mutations"].items():
+            stores[name].set_mutation_count(mutations)
+        sweep_next = state.get("sweep_next")
+        if sweep_next is not None:
+            self.start_liveness_sweep(start_delay=sweep_next - self.now)
 
     # -- vendor-side provisioning ------------------------------------------------
 

@@ -226,6 +226,18 @@ class RecordStoreBase:
         """Size and churn: mergeable by summation across shards."""
         return {"records": self.record_count(), "mutations": self._mutations}
 
+    def set_mutation_count(self, mutations: int) -> None:
+        """Overwrite the churn counter (warm-start restore only).
+
+        Bulk-restoring a captured world replays every record as an
+        upsert, which would inflate ``mutations`` far past what the
+        original world had counted; the campaign fast path rewinds the
+        counter to the captured value so ``merge_counts`` — and the
+        sharded engine's ``state_counts`` merge — stay bit-identical to
+        a cold-built world.
+        """
+        self._mutations = mutations
+
 
 def merge_state_counts(
     per_shard: List[Dict[str, Dict[str, int]]]

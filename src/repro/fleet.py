@@ -24,8 +24,8 @@ Two build modes exist (``docs/parallelism.md`` discusses the trade-off):
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.app.mobile import KnownDevice, MobileApp
 from repro.cloud.policy import DeviceAuthMode, VendorDesign
@@ -39,6 +39,7 @@ from repro.identity.tokens import TokenKind
 from repro.net.address import FleetIpAllocator
 from repro.net.network import Network
 from repro.net.provisioning import ProvisioningAir, WifiCredentials
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer
 from repro.sim.environment import Environment
 
@@ -62,6 +63,43 @@ class Household:
     ssid: str
     wifi_passphrase: str
     location: str
+
+
+@dataclass
+class WorldImage:
+    """A picklable capture of a deployed fleet, ready to warm-start.
+
+    Taken by :meth:`FleetDeployment.capture_image` after the Figure 1
+    setup and a settling :meth:`FleetDeployment.run` — i.e. at exactly
+    the point a deployed campaign (mass unbind, shadow probe, mass
+    rebind) begins.  :meth:`FleetDeployment.from_image` turns it back
+    into a live world whose every subsequent output is bit-identical to
+    the captured one's.
+
+    The image is *not* a pickled object graph: it carries the cloud's
+    genuine snapshot-v2 state plus the volatile overlays a snapshot
+    deliberately sheds (see
+    :meth:`~repro.cloud.service.CloudService.capture_campaign_state`),
+    per-household device/app field sets, and the RNG / trace-counter
+    stream positions.  Restoring structurally rebuilds the fleet — all
+    identities and keys derive from the seed, so the rebuild reproduces
+    the build exactly — and overlays the captured dynamics on top.
+    Worker processes cache these per world key and replay them instead
+    of re-running setup for every shard (``docs/performance.md``).
+    """
+
+    design: VendorDesign
+    households: int
+    seed: int
+    build: str
+    time: float
+    cloud_state: Dict[str, Any]
+    env_rng_state: Any
+    trace_state: Dict[str, int]
+    metrics: Optional[Dict[str, Any]]
+    attacker_token: Optional[str]
+    device_states: List[Dict[str, Any]] = field(default_factory=list)
+    app_states: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class FleetDeployment:
@@ -322,6 +360,162 @@ class FleetDeployment:
         """Advance the whole fleet's world by *seconds* virtual seconds."""
         with self.env.observer.span("fleet:run", kind="phase", seconds=seconds):
             self.env.run_for(seconds)
+
+    # -- world images (campaign warm start) -----------------------------
+
+    def capture_image(self) -> WorldImage:
+        """Freeze this deployed world as a :class:`WorldImage`.
+
+        Call after :meth:`setup_all` + :meth:`run` — the deployed-
+        campaign start line.  Worlds with resilience clients installed
+        (chaos shards) are refused: their retry RNGs and breaker state
+        are mid-flight machinery the image format deliberately omits,
+        and chaos shards always run cold anyway.
+        """
+        for household in self.households:
+            if household.device._client is not None or household.app._client is not None:
+                raise ConfigurationError(
+                    "cannot capture a world image with resilience clients "
+                    "installed; chaos shards run cold"
+                )
+        device_states: List[Dict[str, Any]] = []
+        app_states: List[Dict[str, Any]] = []
+        for household in self.households:
+            device = household.device
+            device_states.append(
+                {
+                    "powered": device.powered,
+                    "wifi": device.wifi,
+                    "lan_id": device._lan_id,
+                    "dev_token": device.dev_token,
+                    "post_binding_token": device.post_binding_token,
+                    "pending_user_credential": device._pending_user_credential,
+                    "listening": device._stop_listening is not None,
+                    "connected": device.connected,
+                    "last_error": device.last_error,
+                    "executed_commands": list(device.executed_commands),
+                    "schedule": dict(device.schedule),
+                    "last_schedule_check": device._last_schedule_check,
+                    "state": copy.deepcopy(device.state),
+                    "heartbeat_next": (
+                        device._heartbeat_handle.time
+                        if device._heartbeat_handle is not None
+                        else None
+                    ),
+                }
+            )
+            app = household.app
+            app_states.append(
+                {
+                    "user_token": app.user_token,
+                    "devices": {
+                        device_id: KnownDevice(
+                            known.device_id, known.model, known.post_binding_token
+                        )
+                        for device_id, known in app.devices.items()
+                    },
+                }
+            )
+        observer = self.env.observer
+        metrics = (
+            observer.metrics.snapshot() if hasattr(observer, "metrics") else None
+        )
+        return WorldImage(
+            design=self.design,
+            households=len(self.households),
+            seed=self.env.rng.seed,
+            build=self.build,
+            time=self.env.now,
+            cloud_state=self.cloud.capture_campaign_state(),
+            env_rng_state=self.env.rng.getstate(),
+            trace_state=self.network.trace_state(),
+            metrics=metrics,
+            attacker_token=self._attacker_token,
+            device_states=device_states,
+            app_states=app_states,
+        )
+
+    @classmethod
+    def from_image(
+        cls, image: WorldImage, observer: Optional[Observer] = None
+    ) -> "FleetDeployment":
+        """Resume a captured world: structural rebuild + overlays.
+
+        The constructor rebuild reproduces the original build exactly
+        (identities, keys and addresses all derive from the seed); the
+        overlays then install everything setup and run changed — cloud
+        state through the campaign fast path, device/app fields,
+        scheduler phases, RNG and trace-counter positions — and finally
+        replace the observer's metrics registry with the captured
+        snapshot, discarding whatever the restore itself emitted.  A
+        campaign run on the result is bit-identical to one run on the
+        captured world.
+        """
+        fleet = cls(
+            image.design,
+            image.households,
+            seed=image.seed,
+            observer=observer,
+            build=image.build,
+        )
+        fleet.cloud.restore_campaign_state(image.cloud_state)
+        now = fleet.env.now
+        for household, device_state, app_state in zip(
+            fleet.households, image.device_states, image.app_states
+        ):
+            device = household.device
+            if device._heartbeat_handle is not None:
+                # clone builds arm heartbeats at t=0; re-arm below with
+                # the captured phase instead
+                device._heartbeat_handle.cancel()
+                device._heartbeat_handle = None
+            device.powered = device_state["powered"]
+            device.wifi = device_state["wifi"]
+            device.dev_token = device_state["dev_token"]
+            device.post_binding_token = device_state["post_binding_token"]
+            device._pending_user_credential = device_state["pending_user_credential"]
+            device.connected = device_state["connected"]
+            device.last_error = device_state["last_error"]
+            device.executed_commands = list(device_state["executed_commands"])
+            device.schedule = dict(device_state["schedule"])
+            device._last_schedule_check = device_state["last_schedule_check"]
+            device.state = copy.deepcopy(device_state["state"])
+            lan_id = device_state["lan_id"]
+            if device._lan_id != lan_id:
+                if device._lan_id is not None:
+                    fleet.network.leave_lan(device.node_name)
+                if lan_id is not None:
+                    fleet.network.join_lan(
+                        device.node_name, lan_id, household.wifi_passphrase
+                    )
+                device._lan_id = lan_id
+            heartbeat_next = device_state["heartbeat_next"]
+            if heartbeat_next is not None:
+                device._heartbeat_handle = fleet.env.every(
+                    device.design.heartbeat_interval,
+                    device.heartbeat,
+                    start_delay=heartbeat_next - now,
+                )
+            if device_state["listening"] and device.wifi is None:
+                device.enter_provisioning_mode()
+            app = household.app
+            app.user_token = app_state["user_token"]
+            app.devices = {
+                device_id: KnownDevice(
+                    known.device_id, known.model, known.post_binding_token
+                )
+                for device_id, known in app_state["devices"].items()
+            }
+        fleet.network.restore_trace_state(image.trace_state)
+        fleet.env.rng.setstate(image.env_rng_state)
+        fleet._attacker_token = image.attacker_token
+        fleet.prebound = True
+        obs = fleet.env.observer
+        if image.metrics is not None and hasattr(obs, "metrics"):
+            registry = MetricsRegistry()
+            registry.merge_snapshot(image.metrics)
+            obs.metrics = registry
+        return fleet
 
     def bound_users(self) -> Dict[str, Optional[str]]:
         """device_id -> bound account, fleet-wide."""

@@ -254,3 +254,24 @@ class TokenService:
     def merge_counts(self) -> Dict[str, int]:
         """Per-store size/churn numbers for the metrics seam."""
         return {"records": self.record_count(), "mutations": self._mutations}
+
+    def set_mutation_count(self, mutations: int) -> None:
+        """Overwrite the churn counter (warm-start restore only)."""
+        self._mutations = mutations
+
+    # -- RNG stream capture (warm-start restore) ------------------------------
+
+    def rng_state(self):
+        """The issuing RNG's stream state (picklable)."""
+        return self._rng.getstate()
+
+    def restore_rng_state(self, state) -> None:
+        """Resume the issuing RNG exactly where a captured service was.
+
+        Restore-by-records replays *past* issuance without consuming the
+        stream, so the first token minted after a warm start must come
+        from the same stream position the captured cloud had reached —
+        otherwise post-restore tokens (and everything derived from them)
+        diverge from the original world's.
+        """
+        self._rng.setstate(state)

@@ -348,6 +348,22 @@ class Network:
             exchanges.append(exchange)
         return exchanges
 
+    # -- trace-minting state (warm-start restore) -----------------------------
+
+    def trace_state(self) -> Dict[str, int]:
+        """The monotonic trace/span counters, for world capture.
+
+        Trace ids land in audit entries and forensic events, so a
+        restored world must mint its next id exactly where the captured
+        world left off or every post-restore trace id diverges.
+        """
+        return {"trace_seq": self._trace_seq, "span_seq": self._span_seq}
+
+    def restore_trace_state(self, state: Dict[str, int]) -> None:
+        """Resume trace minting from a captured :meth:`trace_state`."""
+        self._trace_seq = int(state.get("trace_seq", 0))
+        self._span_seq = int(state.get("span_seq", 0))
+
     # -- internals -------------------------------------------------------------
 
     def _next_span_id(self) -> str:

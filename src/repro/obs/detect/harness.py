@@ -44,33 +44,62 @@ def run_detection(
     run_seconds: float = 12.0,
     chaos: Optional[ChaosSpec] = None,
     trace_messages: bool = False,
+    pool: bool = False,
+    warm_start: bool = True,
 ) -> Dict[str, ShardedCampaignResult]:
     """Run each attack class's campaign with detection attached.
 
     Returns ``{attack_id: ShardedCampaignResult}`` in the order given;
     each result's ``.detection`` property is the merged score.
+
+    With ``pool=True`` every attack's campaign runs through one
+    persistent :class:`~repro.parallel.pool.WorkerPool`, so the A1/A3/A4
+    deployed-fleet attacks share one warm-started world per shard
+    instead of rebuilding it three times (A2 always builds cold — it
+    attacks factory-fresh fleets).  With ``workers=1`` the same
+    amortization happens in-process through a shared image cache.
+    Results are bit-identical either way.
     """
     runs: Dict[str, ShardedCampaignResult] = {}
+    campaign_kwargs = dict(
+        households=households,
+        max_probes=max_probes,
+        workers=workers,
+        seed=seed,
+        shards=shards,
+        run_seconds=run_seconds,
+        trace_messages=trace_messages,
+        chaos=chaos,
+        detect=True,
+    )
     for attack_id in attacks:
-        campaign = ATTACK_CAMPAIGNS.get(attack_id)
-        if campaign is None:
+        if attack_id not in ATTACK_CAMPAIGNS:
             raise ConfigurationError(
                 f"unknown attack class {attack_id!r}; "
                 f"expected one of {sorted(ATTACK_CAMPAIGNS)}"
             )
-        runs[attack_id] = run_campaign(
-            design,
-            campaign=campaign,
-            households=households,
-            max_probes=max_probes,
-            workers=workers,
-            seed=seed,
-            shards=shards,
-            run_seconds=run_seconds,
-            trace_messages=trace_messages,
-            chaos=chaos,
-            detect=True,
-        )
+    if pool and workers > 1:
+        from repro.parallel.pool import WorkerPool
+
+        with WorkerPool(workers=workers, warm_start=warm_start) as worker_pool:
+            for attack_id in attacks:
+                runs[attack_id] = run_campaign(
+                    design,
+                    campaign=ATTACK_CAMPAIGNS[attack_id],
+                    worker_pool=worker_pool,
+                    **campaign_kwargs,
+                )
+    else:
+        from repro.parallel.protocol import WorldImageCache
+
+        image_cache = WorldImageCache() if (pool or warm_start) and workers == 1 else None
+        for attack_id in attacks:
+            runs[attack_id] = run_campaign(
+                design,
+                campaign=ATTACK_CAMPAIGNS[attack_id],
+                image_cache=image_cache,
+                **campaign_kwargs,
+            )
     return runs
 
 

@@ -20,9 +20,12 @@ the results are merged deterministically:
 
 :func:`run_shard` is the spawn-safe worker entry point: a module-level
 function over a picklable :class:`ShardSpec`, so it works under every
-``multiprocessing`` start method.  The engine prefers ``fork`` where
-the platform offers it (worker start is then cheap enough that even
-small fleets see real speedups) and falls back to ``spawn`` elsewhere.
+``multiprocessing`` start method.  The spawn-per-shard path prefers
+``fork`` where the platform offers it and falls back to ``spawn``;
+``run_campaign(pool=True)`` instead routes shards through a persistent
+:class:`~repro.parallel.pool.WorkerPool` whose workers warm-start
+deployed worlds from cached :class:`~repro.fleet.WorldImage`\\ s — see
+``docs/performance.md`` for the cost model of when each wins.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.attacks.campaign import (
     CampaignReport,
@@ -53,13 +56,17 @@ from repro.obs.detect.score import merge_detection, score_detection
 from repro.obs.export import merge_snapshots, snapshot
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
+from repro.parallel.protocol import DEPLOYED_CAMPAIGNS, WorldImageCache, world_key
 from repro.parallel.shards import derive_shard_seed, partition
+
+if TYPE_CHECKING:  # import cycle guard: pool imports engine lazily
+    from repro.parallel.pool import WorkerPool
 
 #: Campaigns the engine can shard.
 CAMPAIGNS = ("binding-dos", "mass-unbind", "shadow-probe", "mass-rebind")
 
 #: Campaigns that attack an already-deployed (set-up) fleet.
-_DEPLOYED_CAMPAIGNS = ("mass-unbind", "shadow-probe", "mass-rebind")
+_DEPLOYED_CAMPAIGNS = DEPLOYED_CAMPAIGNS
 
 
 @dataclass(frozen=True)
@@ -107,48 +114,86 @@ class ShardResult:
     #: detection score for this shard (``repro.obs.detect.score``);
     #: ``None`` when the shard ran without detection
     detection: Optional[Dict[str, Any]] = None
+    #: how this shard's world came to be: ``"cold"`` (built + set up in
+    #: place) or ``"warm"`` (restored from a cached world image)
+    world_source: str = "cold"
+    #: wall seconds spent producing the ready-to-attack world (build +
+    #: setup + settling run when cold, image restore when warm)
+    world_seconds: float = 0.0
 
 
-def run_shard(spec: ShardSpec) -> ShardResult:
+def run_shard(
+    spec: ShardSpec, image_cache: Optional[WorldImageCache] = None
+) -> ShardResult:
     """Run one shard in a fresh world; the worker-process entry point.
 
     Builds the shard's fleet from its derived seed, runs the campaign
     against it, and returns the report plus the shard's metric and
     observability snapshots and its audit-consistency verdict.
+
+    With an *image_cache*, deployed-campaign shards warm-start: the
+    first run of a world captures a :class:`~repro.fleet.WorldImage`
+    after setup + settling, and later shards over the same world key
+    restore it instead of rebuilding (bit-identical results — the
+    warm-start equality tests pin reports, audit logs, forensic
+    timelines and metrics).  Chaos shards and ``binding-dos`` always
+    run cold (:func:`~repro.parallel.protocol.world_key` is ``None``).
     """
     started = time.perf_counter()
     obs = Observability(trace_messages=spec.trace_messages)
-    fleet = FleetDeployment(
-        spec.design,
-        households=spec.households,
-        seed=spec.seed,
-        observer=obs,
-        build=spec.build,
-    )
-    controller = None
-    if spec.chaos is not None:
-        controller = apply_chaos(fleet, spec.chaos)
+    key = world_key(spec) if image_cache is not None else None
+    image = image_cache.get(key) if key is not None else None
+    world_source = "cold"
     pipeline: Optional[DetectionPipeline] = None
-    if spec.detect:
-        pipeline = DetectionPipeline()
-        pipeline.attach(fleet.cloud)
-    if spec.campaign == "binding-dos":
-        report = campaign_binding_dos(
-            fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
-        )
-    elif spec.campaign in _DEPLOYED_CAMPAIGNS:
-        runner = {
-            "mass-unbind": campaign_mass_unbind,
-            "shadow-probe": campaign_shadow_probe,
-            "mass-rebind": campaign_mass_rebind,
-        }[spec.campaign]
-        fleet.setup_all()
-        fleet.run(spec.run_seconds)
+    controller = None
+    runner = {
+        "mass-unbind": campaign_mass_unbind,
+        "shadow-probe": campaign_shadow_probe,
+        "mass-rebind": campaign_mass_rebind,
+    }.get(spec.campaign)
+    if image is not None:
+        # Warm start: restore the deployed world, then attach detection.
+        # The pipeline sees campaign events live and back-fills history
+        # via catch_up below — alerts are seq-deduplicated, so this is
+        # equivalent to having streamed the whole run.
+        fleet = FleetDeployment.from_image(image, observer=obs)
+        world_source = "warm"
+        world_seconds = time.perf_counter() - started
+        if spec.detect:
+            pipeline = DetectionPipeline()
+            pipeline.attach(fleet.cloud)
         report = runner(
             fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
         )
     else:
-        raise ConfigurationError(f"unknown campaign {spec.campaign!r}")
+        fleet = FleetDeployment(
+            spec.design,
+            households=spec.households,
+            seed=spec.seed,
+            observer=obs,
+            build=spec.build,
+        )
+        if spec.chaos is not None:
+            controller = apply_chaos(fleet, spec.chaos)
+        if spec.detect:
+            pipeline = DetectionPipeline()
+            pipeline.attach(fleet.cloud)
+        if spec.campaign == "binding-dos":
+            world_seconds = time.perf_counter() - started
+            report = campaign_binding_dos(
+                fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
+            )
+        elif spec.campaign in _DEPLOYED_CAMPAIGNS:
+            fleet.setup_all()
+            fleet.run(spec.run_seconds)
+            world_seconds = time.perf_counter() - started
+            if key is not None:
+                image_cache.put(key, fleet.capture_image())
+            report = runner(
+                fleet, max_probes=spec.max_probes, request_rate=spec.request_rate
+            )
+        else:
+            raise ConfigurationError(f"unknown campaign {spec.campaign!r}")
     # Publish per-store size/churn gauges before snapshotting metrics so
     # the shard's state-layer numbers ride the normal merge path.
     fleet.cloud.emit_state_gauges()
@@ -179,6 +224,8 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         state_counts=fleet.cloud.state_counts(),
         chaos=chaos_summary,
         detection=detection_score,
+        world_source=world_source,
+        world_seconds=world_seconds,
     )
 
 
@@ -197,6 +244,9 @@ class ShardedCampaignResult:
     snapshot: Dict[str, Any]
     wall_seconds: float
     details: List[str] = field(default_factory=list)
+    #: :meth:`WorkerPool.stats` when the campaign ran through a
+    #: persistent pool; ``None`` on spawn-per-shard and inline runs
+    pool_stats: Optional[Dict[str, Any]] = None
 
     @property
     def audit_entries_total(self) -> int:
@@ -254,8 +304,15 @@ class ShardedCampaignResult:
             [result.detection for result in self.shard_results]
         )
 
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-able report dict (what the benchmarks/CLI JSON consume)."""
+    def to_dict(self, include_pool: bool = False) -> Dict[str, Any]:
+        """JSON-able report dict (what the benchmarks/CLI JSON consume).
+
+        ``include_pool`` adds pool statistics and per-shard world
+        provenance (warm vs cold, world-prep seconds).  It defaults off
+        so the dict stays bit-identical to pre-pool runs — pool
+        execution is an *engine* concern and must never leak into the
+        campaign results themselves.
+        """
         data: Dict[str, Any] = {
             "campaign": self.campaign,
             "vendor": self.vendor,
@@ -279,6 +336,17 @@ class ShardedCampaignResult:
         detection = self.detection
         if detection is not None:
             data["detection"] = detection
+        if include_pool:
+            if self.pool_stats is not None:
+                data["pool"] = dict(self.pool_stats)
+            data["shard_worlds"] = [
+                {
+                    "shard": result.shard_index,
+                    "world_source": result.world_source,
+                    "world_seconds": result.world_seconds,
+                }
+                for result in self.shard_results
+            ]
         return data
 
     def render(self) -> str:
@@ -288,6 +356,14 @@ class ShardedCampaignResult:
             f"sharded execution: {self.shards} shard(s) across "
             f"{self.workers} worker(s), base seed {self.seed}"
         )
+        if self.pool_stats is not None:
+            stats = self.pool_stats
+            lines.append(
+                f"worker pool: start={stats['start_method']} "
+                f"tasks={stats['tasks']} warm={stats['warm_starts']} "
+                f"cold={stats['cold_builds']} respawns={stats['respawns']} "
+                f"utilization={stats['utilization']:.0%}"
+            )
         for result in self.shard_results:
             lines.append(
                 f"  shard {result.shard_index}: seed={result.seed} "
@@ -432,16 +508,37 @@ def run_campaign(
     mp_start: Optional[str] = None,
     chaos: Optional[ChaosSpec] = None,
     detect: bool = False,
+    pool: bool = False,
+    warm_start: bool = True,
+    worker_pool: Optional["WorkerPool"] = None,
+    image_cache: Optional[WorldImageCache] = None,
 ) -> ShardedCampaignResult:
     """Run one fleet campaign sharded across *workers* processes.
 
     With ``workers=1`` (one shard) everything runs in-process and the
     result bit-matches the serial ``campaign_*`` path for the same
     seed.  With more workers, *shards* (default: one per worker) shards
-    are mapped over a process pool and merged in shard order:
+    are mapped over worker processes and merged in shard order:
     reports via :meth:`CampaignReport.merge`, metrics into one
     registry, observability snapshots via
     :func:`~repro.obs.export.merge_snapshots` with shard provenance.
+
+    Three execution strategies, all producing bit-identical campaign
+    results for the same specs:
+
+    * default — spawn-per-shard via a throwaway ``multiprocessing``
+      pool (``mp_start`` picks the start method);
+    * ``pool=True`` — a :class:`~repro.parallel.pool.WorkerPool` of
+      persistent workers with heartbeat, per-task timeout and
+      crash-respawn; ``warm_start`` (default on) lets workers restore
+      cached world images instead of rebuilding deployed fleets;
+    * ``worker_pool=...`` — reuse a caller-owned started pool across
+      campaigns, amortizing worker start *and* world builds over a
+      whole sweep (``pool``/``warm_start``/``mp_start`` are ignored).
+
+    ``image_cache`` serves the in-process paths (``workers=1`` or a
+    single shard): sharing one cache across calls warm-starts repeat
+    campaigns without any worker processes at all.
     """
     if workers < 1:
         raise ConfigurationError("need at least one worker")
@@ -453,12 +550,26 @@ def run_campaign(
         chaos=chaos, detect=detect,
     )
     started = time.perf_counter()
-    if workers == 1 or len(specs) == 1:
-        results = [run_shard(spec) for spec in specs]
+    pool_stats: Optional[Dict[str, Any]] = None
+    if worker_pool is not None:
+        results = worker_pool.run(specs)
+        pool_stats = worker_pool.stats()
+    elif workers == 1 or len(specs) == 1:
+        results = [run_shard(spec, image_cache=image_cache) for spec in specs]
+    elif pool:
+        from repro.parallel.pool import WorkerPool
+
+        with WorkerPool(
+            workers=min(workers, len(specs)),
+            mp_start=mp_start,
+            warm_start=warm_start,
+        ) as owned_pool:
+            results = owned_pool.run(specs)
+            pool_stats = owned_pool.stats()
     else:
         context = _pool_context(mp_start)
-        with context.Pool(processes=min(workers, len(specs))) as pool:
-            results = pool.map(run_shard, specs)
+        with context.Pool(processes=min(workers, len(specs))) as mp_pool:
+            results = mp_pool.map(run_shard, specs)
     wall = time.perf_counter() - started
 
     merged_report = CampaignReport.merge([result.report for result in results])
@@ -481,4 +592,5 @@ def run_campaign(
         metrics=registry,
         snapshot=merged_snapshot,
         wall_seconds=wall,
+        pool_stats=pool_stats,
     )

@@ -62,6 +62,27 @@ class DeterministicRandom:
         """A numeric serial of exactly *digits* digits (may lead with 0)."""
         return "".join(self._rng.choice(string.digits) for _ in range(digits))
 
+    # -- state capture ---------------------------------------------------
+
+    def getstate(self):
+        """The stream's full state (picklable; pairs with :meth:`setstate`).
+
+        Lets a warm-started world resume the exact stream position a
+        captured world had reached, so post-restore draws bit-match the
+        original run's.
+        """
+        return (self.seed, self._rng.getstate())
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        The derivation seed is restored too, so :meth:`fork` labels keep
+        producing the same child streams they would have originally.
+        """
+        seed, rng_state = state
+        self.seed = seed
+        self._rng.setstate(rng_state)
+
     def fork(self, label: str) -> "DeterministicRandom":
         """A derived, independent stream (stable for a given seed+label).
 

@@ -69,6 +69,35 @@ class EventHandle:
         return self._entry.cancelled
 
 
+class RepeatingHandle(EventHandle):
+    """Handle to a periodic chain; always tracks the *pending* firing.
+
+    :meth:`Scheduler.every` chains one-shot events, so a plain
+    :class:`EventHandle` to the first event goes stale as soon as it
+    fires — its ``time`` freezes and ``cancel`` stops nothing.  This
+    handle reads through to whichever entry is currently scheduled:
+    ``time`` is the chain's next firing (what the warm-start capture
+    records as the phase to re-arm with) and ``cancel`` both cancels
+    that entry and stops the chain from re-arming.
+    """
+
+    def __init__(self, state: dict) -> None:
+        self._state = state
+
+    def cancel(self) -> None:
+        """Stop the chain: cancel the pending firing, never re-arm."""
+        self._state["stopped"] = True
+        self._state["handle"].cancel()
+
+    @property
+    def time(self) -> float:
+        return self._state["handle"].time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state["stopped"]
+
+
 class Scheduler:
     """Priority-queue event loop over a :class:`VirtualClock`."""
 
@@ -105,26 +134,28 @@ class Scheduler:
         return self.at(self.clock.now + delay, callback)
 
     def every(self, interval: float, callback: Callback, start_delay: Optional[float] = None) -> EventHandle:
-        """Schedule *callback* periodically; returns the first event's handle.
+        """Schedule *callback* periodically; returns the chain's handle.
 
-        Cancelling the returned handle stops the chain *before its next
-        firing*; callers that need immediate teardown should make the
-        callback itself a no-op (the device base class does this via its
-        ``powered`` flag).
+        The returned :class:`RepeatingHandle` follows the chain: its
+        ``time`` is always the next pending firing and cancelling it
+        stops the chain for good.  ``start_delay`` offsets the first
+        firing from now (default: one full *interval*) — the warm-start
+        restore path uses it to re-arm a captured chain at exactly the
+        phase it had.
         """
         if interval <= 0:
             raise SimulationError("interval must be positive")
         first_delay = interval if start_delay is None else start_delay
 
-        state = {"handle": None}
+        state: dict = {"handle": None, "stopped": False}
 
         def tick() -> None:
             callback()
-            state["handle"] = self.after(interval, tick)
+            if not state["stopped"]:
+                state["handle"] = self.after(interval, tick)
 
-        handle = self.after(first_delay, tick)
-        state["handle"] = handle
-        return handle
+        state["handle"] = self.after(first_delay, tick)
+        return RepeatingHandle(state)
 
     # -- cancelled-entry bookkeeping ------------------------------------------
 
