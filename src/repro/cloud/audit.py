@@ -15,21 +15,71 @@ bookkeeping, and counter totals provably equal to the log's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, List, Optional
 
 
-@dataclass(frozen=True)
 class AuditEntry:
-    """One handled request."""
+    """One handled request.
 
-    time: float
-    source_node: str
-    source_ip: str
-    summary: str
-    outcome: str  # "ok" or a rejection code
-    detail: str = ""
-    trace_id: str = ""  # causal chain id from the request packet, if any
+    A ``__slots__`` record (one per handled request, so allocation is on
+    the cloud hot path); treat instances as immutable.  Equality and
+    hashing cover all fields — shard merges compare and pickle entries.
+    """
+
+    __slots__ = (
+        "time",
+        "source_node",
+        "source_ip",
+        "summary",
+        "outcome",
+        "detail",
+        "trace_id",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        source_node: str,
+        source_ip: str,
+        summary: str,
+        outcome: str,  # "ok" or a rejection code
+        detail: str = "",
+        trace_id: str = "",  # causal chain id from the request packet, if any
+    ) -> None:
+        self.time = time
+        self.source_node = source_node
+        self.source_ip = source_ip
+        self.summary = summary
+        self.outcome = outcome
+        self.detail = detail
+        self.trace_id = trace_id
+
+    def _key(self) -> tuple:
+        return (
+            self.time,
+            self.source_node,
+            self.source_ip,
+            self.summary,
+            self.outcome,
+            self.detail,
+            self.trace_id,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AuditEntry):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AuditEntry(time={self.time!r}, source_node={self.source_node!r}, "
+            f"source_ip={self.source_ip!r}, summary={self.summary!r}, "
+            f"outcome={self.outcome!r}, detail={self.detail!r}, "
+            f"trace_id={self.trace_id!r})"
+        )
 
     def line(self) -> str:
         """One fixed-width log line."""

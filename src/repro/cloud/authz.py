@@ -1,0 +1,178 @@
+"""Authorization decision cache: the first slice of the PDP refactor.
+
+Every request the cloud serves re-derives the same read-only
+authorization facts — "which user does this UserToken name", "is this
+device id registered / does this DevToken match", "may this user touch
+this device" — by walking the token table, registry, binding table and
+share grants.  Those stores mutate rarely compared to how often they
+are consulted (a mass-unbind campaign sends thousands of probes between
+two successful unbinds), so the decisions are highly cacheable **as
+long as staleness is impossible by construction**.
+
+The construction here is a single shared :class:`AuthzVersion`: a
+monotonic counter bumped by *every* mutation of an
+authorization-relevant store (accounts, tokens, device registry,
+bindings, shares — wired through
+:meth:`~repro.cloud.state.protocol.RecordStoreBase.bind_authz_version`).
+The :class:`AuthorizationCache` remembers the version it last populated
+at and drops its whole table the moment the version moves, so a cached
+decision can never outlive the state it was derived from.  The counter
+is deliberately **never rewound** — warm-start restores replay records
+as upserts and bump it far past the captured world's value, which only
+means the restored cache starts cold (correct), never that an old
+entry collides with a new epoch.
+
+Two invariants keep this bit-identity-safe (the pooled==serial and
+warm==cold oracles):
+
+* only **pure** decisions are cached — the cached call paths perform no
+  store mutation and consume no RNG, so a hit and a miss leave the
+  world in identical states;
+* cache statistics stay **out** of the metrics registry, state counts
+  and campaign reports — a warm-started shard has different hit counts
+  than a cold one, so the numbers are exposed only through
+  :meth:`AuthorizationCache.stats` for benchmarks and diagnostics.
+
+Cached rejections are stored as ``(exception class, code, detail)`` and
+re-raised as fresh instances: every cacheable class below takes the
+``(code, detail)`` constructor (``UnknownDevice`` does not, and is
+never cached).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple, Type
+
+from repro.core.errors import (
+    AuthenticationFailed,
+    AuthorizationFailed,
+    BindingConflict,
+)
+
+#: Rejection classes safe to cache: pure decisions with a
+#: ``(code, detail)`` constructor, so a replayed raise is
+#: indistinguishable from the original.
+CACHEABLE_REJECTIONS: Tuple[Type[Exception], ...] = (
+    AuthenticationFailed,
+    AuthorizationFailed,
+    BindingConflict,
+)
+
+#: Sentinel for "no cached decision" (``None`` is a valid cached value).
+MISS = object()
+
+
+class AuthzVersion:
+    """Shared monotonic epoch of the authorization-relevant state.
+
+    One instance per cloud, attached to every store whose contents feed
+    authorization decisions.  ``bump()`` is called on each mutation of
+    any of them; the value only ever grows (warm-start rewinds mutation
+    *counters*, never this).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        """Advance the epoch: every cached decision is now invalid."""
+        self.value += 1
+
+
+class AuthorizationCache:
+    """Version-guarded memo table of pure authorization decisions.
+
+    Keys are caller-chosen hashable tuples (e.g. ``("user", token)``);
+    values are whatever the caller computed.  The table is valid only
+    for the :class:`AuthzVersion` epoch it was populated at: the first
+    lookup after any bump clears it wholesale — O(1) amortized
+    invalidation with zero per-entry version bookkeeping.
+    """
+
+    __slots__ = ("_version", "_seen", "_table", "hits", "misses", "invalidations")
+
+    def __init__(self, version: AuthzVersion) -> None:
+        self._version = version
+        self._seen = version.value
+        self._table: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached value for *key*, or :data:`MISS`."""
+        current = self._version.value
+        if current != self._seen:
+            self._table.clear()
+            self._seen = current
+            self.invalidations += 1
+            self.misses += 1
+            return MISS
+        value = self._table.get(key, MISS)
+        if value is MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Memoize *value* for *key* at the current epoch."""
+        self._table[key] = value
+
+    def store_rejection(self, key: Hashable, exc: Exception) -> None:
+        """Memoize a cacheable rejection (non-cacheable ones are skipped)."""
+        if isinstance(exc, CACHEABLE_REJECTIONS):
+            code = getattr(exc, "code", None)
+            detail = getattr(exc, "detail", "")
+            self._table[key] = _Rejection(type(exc), code, detail)
+
+    def clear(self) -> None:
+        """Drop every entry (diagnostics/tests; epochs do this naturally)."""
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters and current size.
+
+        Read by benchmarks and diagnostics only — never folded into
+        metrics snapshots or campaign reports (a warm shard's counts
+        differ from a cold one's, which would break bit-identity).
+        """
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": len(self._table),
+            "lookups": total,
+        }
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Rejection:
+    """A memoized rejection: enough to re-raise a fresh, equal instance."""
+
+    __slots__ = ("cls", "code", "detail")
+
+    def __init__(self, cls: Type[Exception], code: Any, detail: str) -> None:
+        self.cls = cls
+        self.code = code
+        self.detail = detail
+
+    def raise_(self) -> None:
+        raise self.cls(self.code, self.detail)
+
+
+def unwrap(value: Any) -> Any:
+    """Return a cached value, re-raising if it memoized a rejection."""
+    if type(value) is _Rejection:
+        value.raise_()
+    return value

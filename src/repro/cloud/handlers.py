@@ -48,6 +48,7 @@ from repro.core.messages import (
     TokenResponse,
     UnbindMessage,
 )
+from repro.cloud.authz import MISS, unwrap
 from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode
 from repro.cloud.relay import QueuedCommand
 from repro.identity.tokens import TokenKind
@@ -58,10 +59,39 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class EndpointHandlers:
-    """The vendor cloud's request handlers."""
+    """The vendor cloud's request handlers.
+
+    The recurring read-only authorization questions (token -> user,
+    device credential check, user-may-touch-device) are answered through
+    the cloud's :class:`~repro.cloud.authz.AuthorizationCache`: pure
+    decisions memoized under the shared authorization epoch, so any
+    binding/token/share/registry mutation invalidates them wholesale.
+    Only decisions, never store objects, are cached — live records
+    (bindings) are re-fetched on every hit.
+    """
 
     def __init__(self, service: "CloudService") -> None:
         self.service = service
+
+    # ------------------------------------------------------------------
+    # cached authorization primitives
+    # ------------------------------------------------------------------
+
+    def _require_user(self, user_token: Optional[str]) -> str:
+        """Cached ``accounts.require_user`` (pure, version-guarded)."""
+        svc = self.service
+        cache = svc.authz_cache
+        key = ("user", user_token)
+        value = cache.lookup(key)
+        if value is not MISS:
+            return unwrap(value)
+        try:
+            user = svc.accounts.require_user(user_token)
+        except AuthenticationFailed as exc:
+            cache.store_rejection(key, exc)
+            raise
+        cache.store(key, user)
+        return user
 
     # ------------------------------------------------------------------
     # account endpoints
@@ -83,7 +113,7 @@ class EndpointHandlers:
         svc = self.service
         if svc.design.device_auth is not DeviceAuthMode.DEV_TOKEN:
             raise RequestRejected("unsupported", "this vendor does not use DevTokens")
-        user = svc.accounts.require_user(message.user_token)
+        user = self._require_user(message.user_token)
         if not svc.registry.is_registered(message.device_id):
             raise UnknownDevice(message.device_id or "<none>")
         bound = svc.bindings.bound_user(message.device_id)
@@ -97,7 +127,7 @@ class EndpointHandlers:
         svc = self.service
         if svc.design.bind_schema is not BindSchema.CAPABILITY:
             raise RequestRejected("unsupported", "this vendor does not use BindTokens")
-        user = svc.accounts.require_user(message.user_token)
+        user = self._require_user(message.user_token)
         token = svc.tokens.issue(TokenKind.BIND, user, svc.now)
         return TokenResponse(token=token)
 
@@ -112,7 +142,40 @@ class EndpointHandlers:
         signature: Optional[str],
         payload: Optional[dict] = None,
     ) -> str:
-        """Verify device identity per the design; return the device ID."""
+        """Verify device identity per the design; return the device ID.
+
+        DEV_ID and DEV_TOKEN decisions depend only on (device_id,
+        dev_token) plus registry/token state, so they are served from the
+        authorization cache; PUBKEY verification covers the per-message
+        *payload* and is always computed fresh.
+        """
+        svc = self.service
+        if svc.design.device_auth is DeviceAuthMode.PUBKEY:
+            return self._authenticate_device_uncached(
+                device_id, dev_token, signature, payload
+            )
+        cache = svc.authz_cache
+        key = ("dev", device_id, dev_token)
+        value = cache.lookup(key)
+        if value is not MISS:
+            return unwrap(value)
+        try:
+            result = self._authenticate_device_uncached(
+                device_id, dev_token, signature, payload
+            )
+        except AuthenticationFailed as exc:
+            cache.store_rejection(key, exc)
+            raise
+        cache.store(key, result)
+        return result
+
+    def _authenticate_device_uncached(
+        self,
+        device_id: Optional[str],
+        dev_token: Optional[str],
+        signature: Optional[str],
+        payload: Optional[dict] = None,
+    ) -> str:
         svc = self.service
         mode = svc.design.device_auth
         if device_id is None or not svc.registry.is_registered(device_id):
@@ -244,7 +307,7 @@ class EndpointHandlers:
             raise RequestRejected(
                 "bad-bind-format", "this vendor expects an app-submitted UserToken"
             )
-        return svc.accounts.require_user(message.user_token)
+        return self._require_user(message.user_token)
 
     def _check_ip_match(self, device_id: str, packet: Packet) -> None:
         """Device #7: bind only after a fresh button-press registration
@@ -315,7 +378,7 @@ class EndpointHandlers:
                 )
         else:
             # Type 1: Unbind : (DevId, UserToken)
-            user = svc.accounts.require_user(message.user_token)
+            user = self._require_user(message.user_token)
             if design.unbind_checks_bound_user and binding.user_id != user:
                 raise AuthorizationFailed(
                     "not-bound-user", "requester is not the bound user"
@@ -344,12 +407,28 @@ class EndpointHandlers:
 
     def _require_bound_user(self, user_token: Optional[str], device_id: str):
         svc = self.service
-        user = svc.accounts.require_user(user_token)
-        binding = svc.bindings.get(device_id)
-        if binding is None:
-            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
-        if binding.user_id != user:
-            raise AuthorizationFailed("not-bound-user", "requester is not the bound user")
+        cache = svc.authz_cache
+        key = ("owner", user_token, device_id)
+        value = cache.lookup(key)
+        if value is not MISS:
+            # Same epoch => the binding row cannot have changed; re-fetch
+            # the live object rather than caching a reference to it.
+            return unwrap(value), svc.bindings.get(device_id)
+        try:
+            user = self._require_user(user_token)
+            binding = svc.bindings.get(device_id)
+            if binding is None:
+                raise BindingConflict(
+                    "not-bound", f"device {device_id!r} has no binding"
+                )
+            if binding.user_id != user:
+                raise AuthorizationFailed(
+                    "not-bound-user", "requester is not the bound user"
+                )
+        except (AuthenticationFailed, AuthorizationFailed, BindingConflict) as exc:
+            cache.store_rejection(key, exc)
+            raise
+        cache.store(key, user)
         return user, binding
 
     def _require_access(self, user_token: Optional[str], device_id: str):
@@ -360,15 +439,32 @@ class EndpointHandlers:
         authority — so they extend the binding without weakening it.
         """
         svc = self.service
-        user = svc.accounts.require_user(user_token)
-        binding = svc.bindings.get(device_id)
-        if binding is None:
-            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
-        if binding.user_id == user:
-            return user, binding, True
-        if svc.shares.is_granted(device_id, user):
-            return user, binding, False
-        raise AuthorizationFailed("not-bound-user", "requester is not the bound user")
+        cache = svc.authz_cache
+        key = ("access", user_token, device_id)
+        value = cache.lookup(key)
+        if value is not MISS:
+            user, is_owner = unwrap(value)
+            return user, svc.bindings.get(device_id), is_owner
+        try:
+            user = self._require_user(user_token)
+            binding = svc.bindings.get(device_id)
+            if binding is None:
+                raise BindingConflict(
+                    "not-bound", f"device {device_id!r} has no binding"
+                )
+            if binding.user_id == user:
+                is_owner = True
+            elif svc.shares.is_granted(device_id, user):
+                is_owner = False
+            else:
+                raise AuthorizationFailed(
+                    "not-bound-user", "requester is not the bound user"
+                )
+        except (AuthenticationFailed, AuthorizationFailed, BindingConflict) as exc:
+            cache.store_rejection(key, exc)
+            raise
+        cache.store(key, (user, is_owner))
+        return user, binding, is_owner
 
     def handle_control(self, packet: Packet, message: ControlMessage) -> Response:
         """Relay a user command to the device, enforcing ownership."""
@@ -405,7 +501,7 @@ class EndpointHandlers:
     def handle_event_poll(self, packet: Packet, message: EventPollRequest) -> Response:
         """Drain the requesting user's notification inbox."""
         svc = self.service
-        user = svc.accounts.require_user(message.user_token)
+        user = self._require_user(message.user_token)
         events = svc.events.poll(user)
         return Response(payload={
             "events": [

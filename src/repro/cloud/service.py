@@ -14,6 +14,7 @@ from typing import Any, Dict, Optional
 
 from repro.cloud.accounts import AccountStore
 from repro.cloud.audit import AuditLog
+from repro.cloud.authz import AuthorizationCache, AuthzVersion
 from repro.cloud.bindings import BindingStore
 from repro.cloud.handlers import EndpointHandlers
 from repro.cloud.policy import VendorDesign
@@ -89,12 +90,28 @@ class CloudService:
         self.registry = DeviceRegistry(self.tokens)
         self.bindings = BindingStore()
         self.shares = ShareStore()
+        # Authorization epoch + decision cache: every mutation of a store
+        # that feeds authorization decisions bumps the shared version,
+        # which wholesale-invalidates the cache (see repro.cloud.authz).
+        self.authz_version = AuthzVersion()
+        for authz_store in (
+            self.accounts,
+            self.tokens,
+            self.registry,
+            self.bindings,
+            self.shares,
+        ):
+            authz_store.bind_authz_version(self.authz_version)
+        self.authz_cache = AuthorizationCache(self.authz_version)
         # Observability: the audit log feeds the observer (one source of
         # truth for message counters/spans) and shadows report Figure 2
         # transitions.  With the null observer installed, both stores
         # keep their fast uninstrumented paths.
         self._observer = env.observer
-        instrumented = None if self._observer is NULL_OBSERVER else self._observer
+        #: precomputed fast-path flag: when False the per-packet
+        #: ``profile()`` context manager is never even allocated
+        self._observed = self._observer is not NULL_OBSERVER
+        instrumented = self._observer if self._observed else None
         self.shadows = ShadowStore(observer=instrumented)
         self.relay = Relay()
         self.audit = AuditLog(observer=instrumented)
@@ -105,6 +122,25 @@ class CloudService:
         #: subscribe via ``forensics.add_sink``)
         self.forensics = ForensicTimeline()
         self._handlers = EndpointHandlers(self)
+        handlers = self._handlers
+        #: type -> bound handler; replaces a 14-branch isinstance chain on
+        #: the per-packet dispatch path (message types are never subclassed)
+        self._dispatch_table = {
+            LoginRequest: handlers.handle_login,
+            DevTokenRequest: handlers.handle_dev_token_request,
+            BindTokenRequest: handlers.handle_bind_token_request,
+            StatusMessage: handlers.handle_status,
+            BindMessage: handlers.handle_bind,
+            UnbindMessage: handlers.handle_unbind,
+            ControlMessage: handlers.handle_control,
+            ScheduleUpdate: handlers.handle_schedule,
+            QueryRequest: handlers.handle_query,
+            BindingInfoRequest: handlers.handle_binding_info,
+            EventPollRequest: handlers.handle_event_poll,
+            ShareRequest: handlers.handle_share,
+            ShareRevoke: handlers.handle_share_revoke,
+            DeviceFetch: handlers.handle_fetch,
+        }
         self._sweep_handle = None
         self._sweep_active = False
         self._journal_backend: Optional[StateBackend] = None
@@ -358,6 +394,15 @@ class CloudService:
         owner and claimed actor captured here, where the request's
         before/after states are both visible.
         """
+        # NULL_OBSERVER fast path: skip the profile() context-manager
+        # allocation entirely (precomputed boolean, not a no-op call).
+        if self._observed:
+            with self._observer.profile("cloud.handle_packet"):
+                return self._handle_and_record(packet)
+        return self._handle_and_record(packet)
+
+    def _handle_and_record(self, packet: Packet) -> Message:
+        """Dispatch one packet, auditing and (when watched) evidencing it."""
         message = packet.message
         trace_id = packet.trace.trace_id if packet.trace is not None else ""
         forensic_kind = _FORENSIC_KINDS.get(type(message))
@@ -368,38 +413,37 @@ class CloudService:
             if device_id:
                 bound_before = self.bindings.bound_user(device_id) or ""
             actor = self._claimed_actor(message)
-        with self._observer.profile("cloud.handle_packet"):
-            try:
-                response = self._dispatch(packet, message)
-            except RequestRejected as exc:
-                self.audit.record(
-                    self.now,
-                    packet.src,
-                    str(packet.observed_src_ip),
-                    describe(message),
-                    exc.code,
-                    exc.detail,
-                    trace_id,
-                )
-                if forensic_kind is not None:
-                    self._record_forensic(
-                        packet, forensic_kind, exc.code, actor, bound_before
-                    )
-                raise
+        try:
+            response = self._dispatch(packet, message)
+        except RequestRejected as exc:
             self.audit.record(
                 self.now,
                 packet.src,
                 str(packet.observed_src_ip),
                 describe(message),
-                trace_id=trace_id,
+                exc.code,
+                exc.detail,
+                trace_id,
             )
             if forensic_kind is not None:
-                replaced = isinstance(response, Response) and bool(
-                    response.payload.get("replaced", False)
-                )
                 self._record_forensic(
-                    packet, forensic_kind, "ok", actor, bound_before, replaced
+                    packet, forensic_kind, exc.code, actor, bound_before
                 )
+            raise
+        self.audit.record(
+            self.now,
+            packet.src,
+            str(packet.observed_src_ip),
+            describe(message),
+            trace_id=trace_id,
+        )
+        if forensic_kind is not None:
+            replaced = isinstance(response, Response) and bool(
+                response.payload.get("replaced", False)
+            )
+            self._record_forensic(
+                packet, forensic_kind, "ok", actor, bound_before, replaced
+            )
         return response
 
     def _claimed_actor(self, message: Message) -> str:
@@ -449,36 +493,10 @@ class CloudService:
         )
 
     def _dispatch(self, packet: Packet, message: Message) -> Message:
-        handlers = self._handlers
-        if isinstance(message, LoginRequest):
-            return handlers.handle_login(packet, message)
-        if isinstance(message, DevTokenRequest):
-            return handlers.handle_dev_token_request(packet, message)
-        if isinstance(message, BindTokenRequest):
-            return handlers.handle_bind_token_request(packet, message)
-        if isinstance(message, StatusMessage):
-            return handlers.handle_status(packet, message)
-        if isinstance(message, BindMessage):
-            return handlers.handle_bind(packet, message)
-        if isinstance(message, UnbindMessage):
-            return handlers.handle_unbind(packet, message)
-        if isinstance(message, ControlMessage):
-            return handlers.handle_control(packet, message)
-        if isinstance(message, ScheduleUpdate):
-            return handlers.handle_schedule(packet, message)
-        if isinstance(message, QueryRequest):
-            return handlers.handle_query(packet, message)
-        if isinstance(message, BindingInfoRequest):
-            return handlers.handle_binding_info(packet, message)
-        if isinstance(message, EventPollRequest):
-            return handlers.handle_event_poll(packet, message)
-        if isinstance(message, ShareRequest):
-            return handlers.handle_share(packet, message)
-        if isinstance(message, ShareRevoke):
-            return handlers.handle_share_revoke(packet, message)
-        if isinstance(message, DeviceFetch):
-            return handlers.handle_fetch(packet, message)
-        raise ProtocolError(f"cloud has no endpoint for {type(message).__name__}")
+        handler = self._dispatch_table.get(type(message))
+        if handler is None:
+            raise ProtocolError(f"cloud has no endpoint for {type(message).__name__}")
+        return handler(packet, message)
 
     # -- convenience accessors for experiments/tests ------------------------------
 

@@ -140,6 +140,10 @@ class RecordStoreBase:
 
     _journal_write: Optional[JournalWrite] = None
     _mutations: int = 0
+    #: Authorization epoch hook: set (via :meth:`bind_authz_version`) only
+    #: on stores whose contents feed authorization decisions, so hot
+    #: non-authz stores (shadows, forensics, relay) never pay the bump.
+    _authz_version: Optional[Any] = None
 
     # -- journal seam -------------------------------------------------------
 
@@ -147,9 +151,21 @@ class RecordStoreBase:
         """Install (or clear, with ``None``) the journal write hook."""
         self._journal_write = write
 
+    def bind_authz_version(self, version: Optional[Any]) -> None:
+        """Attach the cloud's shared authorization epoch counter.
+
+        Every subsequent mutation of this store bumps the epoch, which
+        invalidates the cloud's
+        :class:`~repro.cloud.authz.AuthorizationCache` wholesale — the
+        mechanism that makes cached authorization decisions stale-proof.
+        """
+        self._authz_version = version
+
     def _record_put(self, record: Record) -> None:
         """Note one upsert: bump churn, journal it when durable+bound."""
         self._mutations = self._mutations + 1
+        if self._authz_version is not None:
+            self._authz_version.bump()
         if self._journal_write is not None and self.durable:
             self._journal_write(
                 {"store": self.state_name, "op": "put", "record": record}
@@ -158,12 +174,16 @@ class RecordStoreBase:
     def _record_del(self, key: str) -> None:
         """Note one delete: bump churn, journal it when durable+bound."""
         self._mutations = self._mutations + 1
+        if self._authz_version is not None:
+            self._authz_version.bump()
         if self._journal_write is not None and self.durable:
             self._journal_write({"store": self.state_name, "op": "del", "key": key})
 
     def _note_mutation(self) -> None:
         """Count a volatile mutation (churn only, never journaled)."""
         self._mutations = self._mutations + 1
+        if self._authz_version is not None:
+            self._authz_version.bump()
 
     # -- generic bulk operations -------------------------------------------
 

@@ -63,6 +63,7 @@ class TokenService:
         self._live: Dict[str, TokenRecord] = {}
         self._journal_write: Optional[Callable[[Dict[str, Any]], None]] = None
         self._mutations = 0
+        self._authz_version: Optional[Any] = None
 
     # -- issuance ----------------------------------------------------------
 
@@ -150,18 +151,30 @@ class TokenService:
     def _journal_put(self, record: Dict[str, Any]) -> None:
         """Count the mutation and, when journaled, append an upsert entry."""
         self._mutations += 1
+        if self._authz_version is not None:
+            self._authz_version.bump()
         if self._journal_write is not None:
             self._journal_write({"store": self.state_name, "op": "put", "record": record})
 
     def _journal_del(self, key: str) -> None:
         """Count the mutation and, when journaled, append a delete entry."""
         self._mutations += 1
+        if self._authz_version is not None:
+            self._authz_version.bump()
         if self._journal_write is not None:
             self._journal_write({"store": self.state_name, "op": "del", "key": key})
 
     def bind_journal(self, write: Optional[Callable[[Dict[str, Any]], None]]) -> None:
         """Attach (or detach, with ``None``) the journal append hook."""
         self._journal_write = write
+
+    def bind_authz_version(self, version: Optional[Any]) -> None:
+        """Attach the cloud's authorization epoch (mirrors RecordStoreBase).
+
+        Token issuance/revocation changes who every UserToken/DevToken
+        names, so each mutation here must invalidate cached decisions.
+        """
+        self._authz_version = version
 
     def to_record(self, obj: TokenRecord) -> Dict[str, Any]:
         """One live token as a snapshot/journal record."""

@@ -11,23 +11,72 @@ does expose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.core.messages import describe
 from repro.net.packet import Exchange
 
 
-@dataclass
 class CaptureEntry:
-    """One observed exchange, with visibility rules applied."""
+    """One observed exchange, with visibility rules applied.
 
-    time: float
-    src: str
-    dst: str
-    observed_src_ip: str
-    encrypted: bool
-    visible_summary: str
-    error_code: Optional[str]
+    ``visible_summary`` is rendered *lazily*: a capture records every
+    exchange on the wire, but most captures are never rendered, so the
+    per-packet ``describe()`` string formatting is deferred until the
+    summary is first read (then memoized).  Entries constructed with an
+    explicit ``visible_summary`` keep it verbatim.
+    """
+
+    __slots__ = (
+        "time",
+        "src",
+        "dst",
+        "observed_src_ip",
+        "encrypted",
+        "error_code",
+        "_message",
+        "_summary",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        src: str,
+        dst: str,
+        observed_src_ip: str,
+        encrypted: bool,
+        visible_summary: Optional[str] = None,
+        error_code: Optional[str] = None,
+        message: Any = None,
+    ) -> None:
+        self.time = time
+        self.src = src
+        self.dst = dst
+        self.observed_src_ip = observed_src_ip
+        self.encrypted = encrypted
+        self.error_code = error_code
+        self._message = message
+        self._summary = visible_summary
+
+    @property
+    def visible_summary(self) -> str:
+        """The wire-visible content (redacted under TLS), rendered lazily."""
+        summary = self._summary
+        if summary is None:
+            summary = (
+                "<encrypted>" if self.encrypted else describe(self._message)
+            )
+            self._summary = summary
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CaptureEntry(time={self.time!r}, src={self.src!r}, "
+            f"dst={self.dst!r}, observed_src_ip={self.observed_src_ip!r}, "
+            f"encrypted={self.encrypted!r}, "
+            f"visible_summary={self.visible_summary!r}, "
+            f"error_code={self.error_code!r})"
+        )
 
 
 @dataclass
@@ -39,20 +88,20 @@ class PacketCapture:
     predicate: Optional[Callable[[Exchange], bool]] = None
 
     def tap(self, exchange: Exchange) -> None:
-        """Network-tap entry point: record one exchange."""
+        """Network-tap entry point: record one exchange (summary deferred)."""
         if self.predicate is not None and not self.predicate(exchange):
             return
         packet = exchange.request
-        summary = "<encrypted>" if packet.encrypted else describe(packet.message)
         self.entries.append(
             CaptureEntry(
-                time=packet.time,
-                src=packet.src,
-                dst=packet.dst,
-                observed_src_ip=str(packet.observed_src_ip),
-                encrypted=packet.encrypted,
-                visible_summary=summary,
-                error_code=exchange.error_code,
+                packet.time,
+                packet.src,
+                packet.dst,
+                str(packet.observed_src_ip),
+                packet.encrypted,
+                None,
+                exchange.error_code,
+                packet.message,
             )
         )
 

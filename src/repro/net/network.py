@@ -270,8 +270,14 @@ class Network:
         :class:`~repro.core.errors.RequestTimeout`.
         """
         now = self.env.now
-        for filt in self._fault_filters.values():
-            filt.on_request(src, dst, now, timeout=timeout)
+        # Hot path: skip building dict views / Exchange records entirely
+        # when no fault filters or taps are installed (the common case in
+        # large sharded campaigns).
+        filters = self._fault_filters
+        tapped = bool(self._taps)
+        if filters:
+            for filt in filters.values():
+                filt.on_request(src, dst, now, timeout=timeout)
         trace = self._next_trace(src)
         packet = self._build_packet(src, dst, message, encrypted)
         packet.trace = trace
@@ -286,12 +292,14 @@ class Network:
         try:
             response = destination.handler(packet)
         except RequestRejected as exc:
-            self._record(Exchange(packet, _rejection(exc), error_code=exc.code))
+            if tapped:
+                self._record(Exchange(packet, _rejection(exc), error_code=exc.code))
             raise
         finally:
             self._trace_stack.pop()
-        self._record(Exchange(packet, response))
-        for filt in self._fault_filters.values():
+        if tapped:
+            self._record(Exchange(packet, response))
+        for filt in filters.values() if filters else ():
             if filt.should_duplicate(src, dst, now):
                 # At-least-once delivery: the same request arrives again;
                 # the duplicate's response is recorded but discarded (the
@@ -391,14 +399,7 @@ class Network:
         source = self._require(src)
         destination = self._require(dst)
         observed_ip = self._observed_ip(source, destination)
-        return Packet(
-            src=src,
-            dst=dst,
-            observed_src_ip=observed_ip,
-            message=message,
-            encrypted=encrypted,
-            time=self.env.now,
-        )
+        return Packet(src, dst, observed_ip, message, encrypted, self.env.now)
 
     def _observed_ip(self, source: _Node, destination: _Node) -> IpAddress:
         src_lan = self._lans.get(source.lan_id) if source.lan_id else None

@@ -10,7 +10,6 @@ from repro.net.address import IpAddress
 from repro.obs.trace import TraceContext
 
 
-@dataclass
 class Packet:
     """One request travelling from *src* to *dst*.
 
@@ -22,16 +21,63 @@ class Packet:
     ``trace`` is the causal trace context minted by the network at the
     *originating* node of the request chain; nested requests carry child
     contexts sharing the same ``trace_id`` (see ``repro.obs.trace``).
+
+    A ``__slots__`` record rather than a dataclass: one is allocated per
+    simulated request, so construction cost is on the kernel hot path.
     """
 
-    src: str
-    dst: str
-    observed_src_ip: IpAddress
-    message: Message
-    encrypted: bool = True
-    time: float = 0.0
-    via_proxy: Optional[str] = None
-    trace: Optional[TraceContext] = None
+    __slots__ = (
+        "src",
+        "dst",
+        "observed_src_ip",
+        "message",
+        "encrypted",
+        "time",
+        "via_proxy",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        observed_src_ip: IpAddress,
+        message: Message,
+        encrypted: bool = True,
+        time: float = 0.0,
+        via_proxy: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.observed_src_ip = observed_src_ip
+        self.message = message
+        self.encrypted = encrypted
+        self.time = time
+        self.via_proxy = via_proxy
+        self.trace = trace
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.observed_src_ip == other.observed_src_ip
+            and self.message == other.message
+            and self.encrypted == other.encrypted
+            and self.time == other.time
+            and self.via_proxy == other.via_proxy
+            and self.trace == other.trace
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Packet(src={self.src!r}, dst={self.dst!r}, "
+            f"observed_src_ip={self.observed_src_ip!r}, message={self.message!r}, "
+            f"encrypted={self.encrypted!r}, time={self.time!r}, "
+            f"via_proxy={self.via_proxy!r}, trace={self.trace!r})"
+        )
 
     def summary(self) -> str:
         """Compact one-line rendering for captures and traces."""

@@ -19,7 +19,6 @@ snapshot restore, so a recovered cloud does not re-alert on history.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cloud.state.protocol import Record, RecordStoreBase
@@ -30,8 +29,24 @@ ForensicSink = Callable[["ForensicEvent"], None]
 #: The message kinds that affect (or probe) a device shadow's binding.
 WATCHED_KINDS = ("status", "bind", "unbind", "control", "fetch")
 
+#: ForensicEvent field order (also the record/serialization order).
+_EVENT_FIELDS = (
+    "seq",
+    "time",
+    "device_id",
+    "kind",
+    "summary",
+    "source",
+    "origin_ip",
+    "trace_id",
+    "span_id",
+    "outcome",
+    "actor",
+    "bound_before",
+    "replaced",
+)
 
-@dataclass(frozen=True)
+
 class ForensicEvent:
     """One binding-affecting exchange, as the cloud saw it.
 
@@ -41,21 +56,59 @@ class ForensicEvent:
     device id a device-credential message presented.  ``bound_before``
     is the binding's owner when the request arrived, which is what lets
     detectors judge a transition without replaying history.
+
+    A ``__slots__`` record (one per watched exchange, always on, so
+    allocation is on the cloud hot path); treat instances as immutable.
     """
 
-    seq: int
-    time: float
-    device_id: str
-    kind: str  # one of WATCHED_KINDS
-    summary: str  # paper-style message rendering (describe())
-    source: str  # sending network node
-    origin_ip: str  # observed source IP (post-NAT)
-    trace_id: str  # causal chain id ("" for direct store writes)
-    span_id: str
-    outcome: str  # "ok" or the rejection code
-    actor: str  # claimed identity ("" when unauthenticated)
-    bound_before: str  # binding owner before the request ("" if unbound)
-    replaced: bool = False  # did a Bind displace an existing owner?
+    __slots__ = _EVENT_FIELDS
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        device_id: str,
+        kind: str,  # one of WATCHED_KINDS
+        summary: str,  # paper-style message rendering (describe())
+        source: str,  # sending network node
+        origin_ip: str,  # observed source IP (post-NAT)
+        trace_id: str,  # causal chain id ("" for direct store writes)
+        span_id: str,
+        outcome: str,  # "ok" or the rejection code
+        actor: str,  # claimed identity ("" when unauthenticated)
+        bound_before: str,  # binding owner before the request ("" if unbound)
+        replaced: bool = False,  # did a Bind displace an existing owner?
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.device_id = device_id
+        self.kind = kind
+        self.summary = summary
+        self.source = source
+        self.origin_ip = origin_ip
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.outcome = outcome
+        self.actor = actor
+        self.bound_before = bound_before
+        self.replaced = replaced
+
+    def _key(self) -> tuple:
+        return tuple(getattr(self, name) for name in _EVENT_FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForensicEvent):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in _EVENT_FIELDS
+        )
+        return f"ForensicEvent({fields})"
 
 
 class ForensicTimeline(RecordStoreBase):
@@ -114,9 +167,16 @@ class ForensicTimeline(RecordStoreBase):
             replaced=replaced,
         )
         self._append(event)
-        self._record_put(self.to_record(event))
-        for sink in self._sinks:
-            sink(event)
+        # Lazy serialization: the record dict is only materialized when a
+        # write-ahead journal is actually bound — the always-on unjournaled
+        # case (every campaign world) pays just the churn bump.
+        if self._journal_write is not None:
+            self._record_put(self.to_record(event))
+        else:
+            self._note_mutation()
+        if self._sinks:
+            for sink in self._sinks:
+                sink(event)
         return event
 
     # -- read access ---------------------------------------------------------
@@ -156,7 +216,7 @@ class ForensicTimeline(RecordStoreBase):
 
     def to_record(self, obj: Any) -> Record:
         """Encode one :class:`ForensicEvent` as a flat record."""
-        return asdict(obj)
+        return {name: getattr(obj, name) for name in _EVENT_FIELDS}
 
     def from_record(self, record: Record) -> Any:
         """Decode one record back into a :class:`ForensicEvent`."""

@@ -17,11 +17,9 @@ bit-identical worlds and mint bit-identical trace ids).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
 class TraceContext:
     """One request's position in a cross-node causal chain.
 
@@ -31,12 +29,44 @@ class TraceContext:
     origin); ``origin`` is the node name where the chain started — for
     forged traffic, that is the attacker's own host, whatever identity
     the message layer claims.
+
+    A ``__slots__`` value record (one is minted per simulated request,
+    so construction is on the kernel hot path); treat instances as
+    immutable — equality and hashing read all four fields.
     """
 
-    trace_id: str
-    span_id: str
-    parent_id: Optional[str] = None
-    origin: str = ""
+    __slots__ = ("trace_id", "span_id", "parent_id", "origin")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        origin: str = "",
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.origin = origin
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.parent_id == other.parent_id
+            and self.origin == other.origin
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.parent_id, self.origin))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r}, "
+            f"parent_id={self.parent_id!r}, origin={self.origin!r})"
+        )
 
     @property
     def is_root(self) -> bool:

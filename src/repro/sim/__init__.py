@@ -3,12 +3,13 @@
 from repro.sim.clock import VirtualClock
 from repro.sim.environment import Environment
 from repro.sim.rand import DeterministicRandom
-from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.scheduler import EventHandle, RepeatingHandle, Scheduler
 
 __all__ = [
     "DeterministicRandom",
     "Environment",
     "EventHandle",
+    "RepeatingHandle",
     "Scheduler",
     "VirtualClock",
 ]

@@ -6,24 +6,35 @@ scenario is bit-for-bit reproducible.  Periodic events (device
 heartbeats, the cloud's liveness sweep) are built from one-shot events
 that re-schedule themselves.
 
+The heap stores ``(time, seq, entry)`` tuples so that ordering is
+decided by C-level tuple comparison — the entry itself is a plain
+``__slots__`` record and never participates in comparisons.  The
+``run_until`` inner loop pops all live entries that share a timestamp
+as one batch, advancing the clock once per distinct timestamp instead
+of once per event.
+
 Cancelled entries are lazily discarded when popped, but a long campaign
 that cancels far more than it fires (e.g. a DoS sweep re-arming timers)
 would otherwise grow the heap without bound — so whenever cancelled
 entries exceed half the queue the heap is *compacted* in place.
-Compaction never changes execution order: entries are totally ordered
-by ``(time, seq)``, so re-heapifying the survivors pops identically.
+Compaction never changes execution order: heap items are totally
+ordered by ``(time, seq)``, so re-heapifying the survivors pops
+identically.  Compaction mutates the queue list in place (rather than
+rebinding it) so the hot loop's local alias stays valid even when a
+callback cancels enough events to trigger a compaction mid-run.
 
 The scheduler reports batch sizes, queue depth and compactions to an
-:class:`~repro.obs.observer.Observer`; the default
-:data:`~repro.obs.observer.NULL_OBSERVER` makes those calls no-ops.
+:class:`~repro.obs.observer.Observer`; when the installed observer is
+:data:`~repro.obs.observer.NULL_OBSERVER` the hot path skips the
+``profile()``/``on_scheduler_flush`` calls entirely via a precomputed
+boolean instead of paying a no-op call per flush.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -35,17 +46,28 @@ Callback = Callable[[], None]
 COMPACT_MIN_QUEUE = 64
 
 
-@dataclass(order=True)
 class _Entry:
-    time: float
-    seq: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    in_heap: bool = field(default=True, compare=False)
+    """One scheduled callback; ordering lives in the heap tuple, not here."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "in_heap")
+
+    def __init__(self, time: float, seq: int, callback: Callback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.in_heap = True
+
+
+#: Heap item: ``(time, seq, entry)`` — compared left-to-right by C code;
+#: ``seq`` is unique so the entry itself is never compared.
+_HeapItem = Tuple[float, int, _Entry]
 
 
 class EventHandle:
     """Handle to a scheduled event; allows cancellation."""
+
+    __slots__ = ("_entry", "_scheduler")
 
     def __init__(self, entry: _Entry, scheduler: Optional["Scheduler"] = None) -> None:
         self._entry = entry
@@ -81,6 +103,8 @@ class RepeatingHandle(EventHandle):
     that entry and stops the chain from re-arming.
     """
 
+    __slots__ = ("_state",)
+
     def __init__(self, state: dict) -> None:
         self._state = state
 
@@ -107,12 +131,13 @@ class Scheduler:
         observer: Optional[Observer] = None,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self._queue: List[_Entry] = []
+        self._queue: List[_HeapItem] = []
         self._counter = itertools.count()
         self._cancelled = 0
         #: how many times the heap has been compacted (exposed as a gauge)
         self.compactions = 0
         self._observer = observer if observer is not None else NULL_OBSERVER
+        self._observed = self._observer is not NULL_OBSERVER
 
     def __len__(self) -> int:
         return len(self._queue) - self._cancelled
@@ -124,7 +149,7 @@ class Scheduler:
                 f"cannot schedule in the past (t={time} < now={self.clock.now})"
             )
         entry = _Entry(time, next(self._counter), callback)
-        heapq.heappush(self._queue, entry)
+        heapq.heappush(self._queue, (entry.time, entry.seq, entry))
         return EventHandle(entry, self)
 
     def after(self, delay: float, callback: Callback) -> EventHandle:
@@ -133,7 +158,7 @@ class Scheduler:
             raise SimulationError("delay must be non-negative")
         return self.at(self.clock.now + delay, callback)
 
-    def every(self, interval: float, callback: Callback, start_delay: Optional[float] = None) -> EventHandle:
+    def every(self, interval: float, callback: Callback, start_delay: Optional[float] = None) -> "RepeatingHandle":
         """Schedule *callback* periodically; returns the chain's handle.
 
         The returned :class:`RepeatingHandle` follows the chain: its
@@ -169,14 +194,17 @@ class Scheduler:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop every cancelled entry and re-heapify the survivors."""
-        live = [entry for entry in self._queue if not entry.cancelled]
-        removed = len(self._queue) - len(live)
-        for entry in self._queue:
+        """Drop every cancelled entry and re-heapify the survivors in place."""
+        queue = self._queue
+        live = [item for item in queue if not item[2].cancelled]
+        removed = len(queue) - len(live)
+        for item in queue:
+            entry = item[2]
             if entry.cancelled:
                 entry.in_heap = False
         heapq.heapify(live)
-        self._queue = live
+        # In-place so hot-loop aliases of the queue list stay valid.
+        queue[:] = live
         self._cancelled = 0
         self.compactions += 1
         self._observer.on_compaction(removed, self.compactions)
@@ -186,7 +214,7 @@ class Scheduler:
     def step(self) -> bool:
         """Run the single earliest pending event; return False if none."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
+            entry = heapq.heappop(self._queue)[2]
             entry.in_heap = False
             if entry.cancelled:
                 self._cancelled -= 1
@@ -198,11 +226,11 @@ class Scheduler:
 
     def _pending_at_or_before(self, time: float) -> bool:
         """True iff a live (uncancelled) event is due at or before *time*."""
-        while self._queue and self._queue[0].cancelled:
-            entry = heapq.heappop(self._queue)
+        while self._queue and self._queue[0][2].cancelled:
+            entry = heapq.heappop(self._queue)[2]
             entry.in_heap = False
             self._cancelled -= 1
-        return bool(self._queue) and self._queue[0].time <= time
+        return bool(self._queue) and self._queue[0][0] <= time
 
     def run_until(self, time: float, max_events: int = 1_000_000) -> int:
         """Run all events with timestamp <= *time*; returns events run.
@@ -212,22 +240,51 @@ class Scheduler:
         at or before *time* is still pending (a genuine livelock); a run
         that happens to execute exactly ``max_events`` events and then
         drains, or leaves only events past *time*, completes normally.
+
+        Entries sharing a timestamp are popped as one batch so the clock
+        advances once per distinct timestamp.  A callback that cancels a
+        later event in the same batch still wins: cancellation is
+        re-checked immediately before each callback runs.  A callback
+        that *schedules* at the current timestamp gets a larger ``seq``,
+        lands in the next batch, and runs after the current one — the
+        same order the one-at-a-time loop produced.
         """
         executed = 0
-        with self._observer.profile("scheduler.run"):
-            while self._queue and executed < max_events:
-                entry = self._queue[0]
-                if entry.time > time:
+        queue = self._queue
+        pop = heapq.heappop
+        advance = self.clock.advance_to
+        observed = self._observed
+        cm = self._observer.profile("scheduler.run") if observed else None
+        if cm is not None:
+            cm.__enter__()
+        try:
+            while queue and executed < max_events:
+                when = queue[0][0]
+                if when > time:
                     break
-                heapq.heappop(self._queue)
-                entry.in_heap = False
-                if entry.cancelled:
-                    self._cancelled -= 1
+                # Pop every entry sharing this timestamp (within budget).
+                batch: List[_Entry] = []
+                room = max_events - executed
+                while queue and queue[0][0] == when and len(batch) < room:
+                    entry = pop(queue)[2]
+                    entry.in_heap = False
+                    if entry.cancelled:
+                        self._cancelled -= 1
+                    else:
+                        batch.append(entry)
+                if not batch:
                     continue
-                self.clock.advance_to(entry.time)
-                entry.callback()
-                executed += 1
-        self._observer.on_scheduler_flush(executed, len(self))
+                advance(when)
+                for entry in batch:
+                    if entry.cancelled:  # cancelled by an earlier callback
+                        continue
+                    entry.callback()
+                    executed += 1
+        finally:
+            if cm is not None:
+                cm.__exit__(None, None, None)
+        if observed:
+            self._observer.on_scheduler_flush(executed, len(self))
         if executed >= max_events and self._pending_at_or_before(time):
             raise SimulationError("event budget exhausted; livelock suspected")
         if time > self.clock.now:

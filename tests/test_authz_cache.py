@@ -1,0 +1,222 @@
+"""Authorization decision cache: stale decisions must be impossible.
+
+The cache (:mod:`repro.cloud.authz`) memoizes pure authorization
+decisions under a shared epoch that every authorization-relevant store
+bumps on mutation.  Each end-to-end test here warms the cache with a
+decision, mutates exactly one store through a real endpoint, and
+asserts the *next* request reflects the new state — the stale-decision
+oracle the perf optimization is gated on.
+"""
+
+import pytest
+
+from repro.cloud.authz import (
+    MISS,
+    AuthorizationCache,
+    AuthzVersion,
+    unwrap,
+)
+from repro.cloud.policy import DeviceAuthMode, VendorDesign
+from repro.core.errors import AuthorizationFailed, UnknownDevice
+from repro.core.messages import (
+    BindingInfoRequest,
+    BindMessage,
+    EventPollRequest,
+    LoginRequest,
+    QueryRequest,
+    ShareRequest,
+    ShareRevoke,
+    StatusMessage,
+    UnbindMessage,
+)
+from tests.helpers import CloudHarness
+
+
+def make_harness(**overrides) -> CloudHarness:
+    defaults = dict(name="T", device_type="smart-plug", id_scheme="serial-number")
+    defaults.update(overrides)
+    harness = CloudHarness(VendorDesign(**defaults))
+    harness.cloud.accounts.register("alice", "pw-a")
+    harness.cloud.accounts.register("mallory", "pw-m")
+    harness.cloud.manufacture_device("dev-1", "smart-plug")
+    return harness
+
+
+def login(harness: CloudHarness, user: str = "alice", pw: str = "pw-a") -> str:
+    return harness.must(LoginRequest(user, pw)).user_token
+
+
+class TestCachePrimitives:
+    def test_miss_then_hit_accounting(self):
+        cache = AuthorizationCache(AuthzVersion())
+        assert cache.lookup(("user", "t")) is MISS
+        cache.store(("user", "t"), "alice")
+        assert cache.lookup(("user", "t")) == "alice"
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1, "misses": 1, "invalidations": 0,
+            "entries": 1, "lookups": 2,
+        }
+        assert cache.hit_rate() == 0.5
+
+    def test_bump_invalidates_wholesale(self):
+        version = AuthzVersion()
+        cache = AuthorizationCache(version)
+        cache.lookup("a")
+        cache.store("a", 1)
+        cache.store("b", 2)
+        version.bump()
+        assert cache.lookup("a") is MISS
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+        # One bump, one sweep: the next lookup is an ordinary miss.
+        assert cache.lookup("b") is MISS
+        assert cache.stats()["invalidations"] == 1
+
+    def test_version_never_rewinds(self):
+        version = AuthzVersion()
+        before = version.value
+        version.bump()
+        assert version.value == before + 1
+
+    def test_cached_rejection_re_raises_equal_instance(self):
+        cache = AuthorizationCache(AuthzVersion())
+        original = AuthorizationFailed("not-owner", "device is bound to another user")
+        cache.store_rejection("k", original)
+        with pytest.raises(AuthorizationFailed) as caught:
+            unwrap(cache.lookup("k"))
+        assert caught.value.code == original.code
+        assert caught.value.detail == original.detail
+        assert caught.value is not original
+
+    def test_non_cacheable_rejection_is_skipped(self):
+        cache = AuthorizationCache(AuthzVersion())
+        cache.lookup("k")
+        cache.store_rejection("k", UnknownDevice("ghost"))
+        assert cache.lookup("k") is MISS
+
+    def test_none_is_a_cacheable_value(self):
+        cache = AuthorizationCache(AuthzVersion())
+        cache.lookup("k")
+        cache.store("k", None)
+        assert cache.lookup("k") is None
+        assert cache.stats()["hits"] == 1
+
+
+class TestInvalidationEndToEnd:
+    """One endpoint mutation each; a stale cached decision fails these."""
+
+    def test_unbind_invalidates_owner_decision(self):
+        harness = make_harness()
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        # Warm the ("owner", token, dev-1) decision, then hit it once.
+        harness.must(BindingInfoRequest(token, "dev-1"))
+        harness.must(BindingInfoRequest(token, "dev-1"))
+        assert harness.cloud.authz_cache.stats()["hits"] > 0
+        harness.must(UnbindMessage(device_id="dev-1", user_token=token))
+        accepted, code, _ = harness.send(BindingInfoRequest(token, "dev-1"))
+        assert not accepted and code == "not-bound"
+
+    def test_rebind_replacement_invalidates_old_owner(self):
+        harness = make_harness(rebind_replaces_existing=True)
+        alice = login(harness)
+        mallory = login(harness, "mallory", "pw-m")
+        harness.must(BindMessage(device_id="dev-1", user_token=alice))
+        harness.must(BindingInfoRequest(alice, "dev-1"))
+        # Type-3 replacement: mallory rebinds out from under alice.
+        harness.must(BindMessage(device_id="dev-1", user_token=mallory), src="probe-b")
+        accepted, code, _ = harness.send(BindingInfoRequest(alice, "dev-1"))
+        assert not accepted and code == "not-bound-user"
+        harness.must(BindingInfoRequest(mallory, "dev-1"), src="probe-b")
+
+    def test_logout_invalidates_user_token_decision(self):
+        harness = make_harness()
+        token = login(harness)
+        harness.must(EventPollRequest(token))
+        harness.must(EventPollRequest(token))  # served from cache
+        assert harness.cloud.authz_cache.stats()["hits"] > 0
+        assert harness.cloud.accounts.logout(token)
+        accepted, code, _ = harness.send(EventPollRequest(token))
+        assert not accepted and code == "bad-user-token"
+
+    def test_share_revoke_invalidates_grantee_access(self):
+        harness = make_harness()
+        alice = login(harness)
+        mallory = login(harness, "mallory", "pw-m")
+        harness.must(BindMessage(device_id="dev-1", user_token=alice))
+        harness.must(ShareRequest(alice, "dev-1", "mallory"))
+        harness.must(QueryRequest(mallory, "dev-1"), src="probe-b")
+        harness.must(QueryRequest(mallory, "dev-1"), src="probe-b")  # cached
+        harness.must(ShareRevoke(alice, "dev-1", "mallory"))
+        accepted, code, _ = harness.send(QueryRequest(mallory, "dev-1"), src="probe-b")
+        assert not accepted and code == "not-bound-user"
+
+    def test_dev_token_rotation_invalidates_device_auth(self):
+        harness = make_harness(device_auth=DeviceAuthMode.DEV_TOKEN)
+        stale = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        harness.must(StatusMessage(device_id="dev-1", dev_token=stale))
+        harness.must(StatusMessage(device_id="dev-1", dev_token=stale))  # cached
+        fresh = harness.cloud.registry.issue_dev_token("dev-1", "alice")
+        accepted, code, _ = harness.send(
+            StatusMessage(device_id="dev-1", dev_token=stale)
+        )
+        assert not accepted and code == "bad-dev-token"
+        harness.must(StatusMessage(device_id="dev-1", dev_token=fresh))
+
+    def test_cached_rejection_over_the_wire_is_stable(self):
+        harness = make_harness()
+        before = harness.cloud.authz_cache.stats()["hits"]
+        first = harness.send(UnbindMessage(device_id="dev-1", user_token="bogus"))
+        second = harness.send(UnbindMessage(device_id="dev-1", user_token="bogus"))
+        assert first[:2] == second[:2] == (False, "not-bound")
+        # dev-1 is unbound, so the rejection precedes token validation;
+        # probe a bound device to exercise the cached-rejection path.
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        first = harness.send(UnbindMessage(device_id="dev-1", user_token="bogus"))
+        second = harness.send(UnbindMessage(device_id="dev-1", user_token="bogus"))
+        assert first[:2] == second[:2] == (False, "bad-user-token")
+        assert harness.cloud.authz_cache.stats()["hits"] > before
+
+    def test_repeat_traffic_actually_hits(self):
+        harness = make_harness()
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        baseline = harness.cloud.authz_cache.stats()
+        for _ in range(5):
+            harness.must(BindingInfoRequest(token, "dev-1"))
+        stats = harness.cloud.authz_cache.stats()
+        assert stats["hits"] >= baseline["hits"] + 4
+
+
+class TestStatsStayOutOfArtifacts:
+    """Hit counts differ between warm and cold worlds, so they must never
+    leak into anything the bit-identity oracles compare."""
+
+    def test_state_counts_have_no_cache_section(self):
+        harness = make_harness()
+        token = login(harness)
+        harness.must(BindMessage(device_id="dev-1", user_token=token))
+        harness.must(BindingInfoRequest(token, "dev-1"))
+        counts = harness.cloud.state_counts()
+        for store_name, store_counts in counts.items():
+            assert "authz" not in store_name
+            for key in store_counts:
+                assert "hit" not in key and "cache" not in key
+
+    def test_identical_worlds_differ_only_in_cache_stats(self):
+        # Same seed, same traffic, but one world replays a request twice
+        # as many times: domain state matches, cache stats don't — proof
+        # the stats are diagnostics, not world state.
+        worlds = []
+        for repeats in (1, 3):
+            harness = make_harness()
+            token = login(harness)
+            harness.must(BindMessage(device_id="dev-1", user_token=token))
+            for _ in range(repeats):
+                harness.must(BindingInfoRequest(token, "dev-1"))
+            worlds.append(harness)
+        a, b = worlds
+        assert a.cloud.bindings.snapshot_state() == b.cloud.bindings.snapshot_state()
+        assert a.cloud.authz_cache.stats() != b.cloud.authz_cache.stats()

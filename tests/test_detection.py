@@ -156,7 +156,7 @@ class TestForensicTimeline:
     def record(self, store, seq=0, **overrides):
         event = forensic_event(seq=seq, **overrides)
         return store.record(**{
-            k: v for k, v in event.__dict__.items() if k != "seq"
+            k: v for k, v in store.to_record(event).items() if k != "seq"
         })
 
     def test_record_appends_and_indexes_per_device(self):

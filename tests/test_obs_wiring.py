@@ -151,6 +151,60 @@ class TestNoOpPath:
         assert null_seconds < instrumented_seconds * 3 + 0.25
 
 
+class TestNullObserverFastPath:
+    """The hot paths gate observer calls on a precomputed boolean: under
+    the shared null observer, ``profile()`` must never even be *called*
+    on the packet/scheduler path — not merely return a null context."""
+
+    def test_profile_never_called_under_null_observer(self, monkeypatch):
+        calls = []
+        original = type(NULL_OBSERVER).profile
+
+        def counting_profile(self, section):
+            calls.append(section)
+            return original(self, section)
+
+        monkeypatch.setattr(type(NULL_OBSERVER), "profile", counting_profile)
+        world = Deployment(vendor("D-LINK"), seed=7)
+        assert world.victim_full_setup()
+        world.run_heartbeats(3)
+        assert calls == []
+
+    def test_scheduler_flush_hook_skipped_under_null_observer(self, monkeypatch):
+        flushes = []
+        monkeypatch.setattr(
+            type(NULL_OBSERVER),
+            "on_scheduler_flush",
+            lambda self, executed, pending: flushes.append(executed),
+        )
+        scheduler = Scheduler()
+        scheduler.at(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        assert flushes == []
+
+    def test_instrumented_run_still_profiles_and_matches_null_run(self):
+        def build(observer):
+            world = Deployment(vendor("D-LINK"), seed=7, observer=observer)
+            assert world.victim_full_setup()
+            world.run_heartbeats(3)
+            return world
+
+        null_world = build(None)
+        obs = Observability()
+        traced_world = build(obs)
+        # The fast path is a skip for the null observer only: a real
+        # observer still times the packet and scheduler sections.
+        profiled = obs.profiler.calls
+        assert profiled.get("cloud.handle_packet", 0) > 0
+        assert profiled.get("scheduler.run", 0) > 0
+        # And instrumentation changed nothing the simulation can see.
+        assert (
+            null_world.cloud.bindings.snapshot_state()
+            == traced_world.cloud.bindings.snapshot_state()
+        )
+        assert null_world.cloud.audit.render() == traced_world.cloud.audit.render()
+
+
 class TestSchedulerCompaction:
     def test_cancel_majority_compacts_heap(self):
         scheduler = Scheduler()

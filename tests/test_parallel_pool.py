@@ -157,6 +157,64 @@ class TestWarmStartEquality:
             FleetDeployment.from_image(image)
 
 
+class TestAuthzCacheNeutrality:
+    """The authorization decision cache must be invisible to the
+    identity oracles: hit/miss counts may differ wildly between two
+    worlds whose campaign results are bit-identical, and disabling the
+    cache outright must change nothing a fingerprint can see."""
+
+    @pytest.mark.parametrize("campaign", ["mass-unbind", "shadow-probe"])
+    def test_disabled_cache_runs_bit_identical(self, campaign, monkeypatch):
+        runner = campaign_runner(campaign)
+        fleet_cached, obs_cached = deployed_world(seed=3)
+        report_cached = runner(fleet_cached, max_probes=20, request_rate=3000.0)
+        cached = world_fingerprint(fleet_cached, obs_cached, report_cached)
+        assert fleet_cached.cloud.authz_cache.stats()["hits"] > 0
+
+        from repro.cloud.authz import MISS, AuthorizationCache
+
+        monkeypatch.setattr(AuthorizationCache, "lookup", lambda self, key: MISS)
+        fleet_cold, obs_cold = deployed_world(seed=3)
+        report_cold = runner(fleet_cold, max_probes=20, request_rate=3000.0)
+        uncached = world_fingerprint(fleet_cold, obs_cold, report_cold)
+        assert fleet_cold.cloud.authz_cache.stats()["hits"] == 0
+        for key in cached:
+            assert cached[key] == uncached[key], f"{key} depends on the cache"
+
+    def test_warm_world_matches_cold_despite_divergent_cache_stats(self):
+        runner = campaign_runner("mass-unbind")
+        fleet_cold, obs_cold = deployed_world(seed=5)
+        report_cold = runner(fleet_cold, max_probes=20, request_rate=3000.0)
+
+        fleet_src, _ = deployed_world(seed=5)
+        image = fleet_src.capture_image()
+        obs_warm = Observability(trace_messages=True)
+        fleet_warm = FleetDeployment.from_image(image, observer=obs_warm)
+        report_warm = runner(fleet_warm, max_probes=20, request_rate=3000.0)
+
+        # The restored world skipped the deployment traffic, so its hit
+        # counters differ from the cold build's...
+        assert (
+            fleet_warm.cloud.authz_cache.stats()
+            != fleet_cold.cloud.authz_cache.stats()
+        )
+        # ...yet nothing a fingerprint compares noticed.
+        cold = world_fingerprint(fleet_cold, obs_cold, report_cold)
+        warm = world_fingerprint(fleet_warm, obs_warm, report_warm)
+        assert cold == warm
+
+    def test_mid_run_clear_changes_nothing(self):
+        runner = campaign_runner("mass-unbind")
+        fingerprints = []
+        for clear in (False, True):
+            fleet, obs = deployed_world(seed=9)
+            if clear:
+                fleet.cloud.authz_cache.clear()
+            report = runner(fleet, max_probes=20, request_rate=3000.0)
+            fingerprints.append(world_fingerprint(fleet, obs, report))
+        assert fingerprints[0] == fingerprints[1]
+
+
 class TestWorldKey:
     def spec(self, **overrides):
         return build_shard_specs(

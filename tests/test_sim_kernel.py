@@ -198,3 +198,124 @@ class TestEnvironment:
         env.every(2.0, lambda: ticks.append(env.now))
         env.run_for(6.5)
         assert ticks == [2.0, 4.0, 6.0]
+
+
+class TestHeapCompaction:
+    """Edge cases of the lazy-discard + in-place compaction machinery.
+
+    The scheduler compacts its heap whenever cancelled entries outnumber
+    live ones (above COMPACT_MIN_QUEUE); these tests pin the boundary
+    behaviours the hot loop depends on: cancellation of already-popped
+    entries, re-entrant cancellation from inside callbacks, and ``len``
+    staying truthful across a mid-run compaction.
+    """
+
+    def test_cancel_of_batched_sibling_wins(self):
+        # Five events share one timestamp; the first cancels the fourth
+        # *after* the whole batch was popped off the heap.
+        scheduler = Scheduler()
+        fired = []
+        handles = {}
+
+        def first():
+            fired.append("first")
+            handles["fourth"].cancel()
+
+        scheduler.at(1.0, first)
+        scheduler.at(1.0, lambda: fired.append("second"))
+        scheduler.at(1.0, lambda: fired.append("third"))
+        handles["fourth"] = scheduler.at(1.0, lambda: fired.append("fourth"))
+        scheduler.at(1.0, lambda: fired.append("fifth"))
+        assert scheduler.run_until(2.0) == 4
+        assert fired == ["first", "second", "third", "fifth"]
+        # The cancelled entry was already out of the heap, so it must not
+        # count toward the lazy-discard backlog.
+        assert scheduler._cancelled == 0
+        assert len(scheduler) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        scheduler = Scheduler()
+        handle = scheduler.at(1.0, lambda: None)
+        scheduler.run_until(1.0)
+        handle.cancel()
+        handle.cancel()
+        assert scheduler._cancelled == 0
+        assert len(scheduler) == 0
+
+    def test_small_queues_never_compact(self):
+        from repro.sim.scheduler import COMPACT_MIN_QUEUE
+
+        scheduler = Scheduler()
+        count = COMPACT_MIN_QUEUE - 1
+        handles = [scheduler.at(float(i + 1), lambda: None) for i in range(count)]
+        for handle in handles[1:]:
+            handle.cancel()
+        assert scheduler.compactions == 0
+        assert len(scheduler) == 1
+        assert scheduler.run_until(float(count)) == 1
+
+    def test_mass_cancel_triggers_compaction(self):
+        from repro.sim.scheduler import COMPACT_MIN_QUEUE
+
+        scheduler = Scheduler()
+        total = COMPACT_MIN_QUEUE * 2
+        handles = [scheduler.at(float(i + 1), lambda: None) for i in range(total)]
+        doomed = handles[: total // 2 + 1]
+        for handle in doomed:
+            handle.cancel()
+        assert scheduler.compactions == 1
+        assert len(scheduler._queue) == total - len(doomed)  # physically removed
+        assert len(scheduler) == total - len(doomed)
+        assert scheduler.run_until(float(total)) == total - len(doomed)
+
+    def test_cancel_during_callback_compacts_mid_run(self):
+        # A callback cancels enough future events to trigger compaction
+        # while run_until's hot loop holds a local alias of the queue;
+        # in-place compaction keeps that alias valid and ordering intact.
+        scheduler = Scheduler()
+        fired = []
+        survivors = []
+        doomed = []
+        len_inside = []
+
+        def reap():
+            fired.append("reap")
+            for handle in doomed:
+                handle.cancel()
+            len_inside.append(len(scheduler))
+
+        scheduler.at(1.0, reap)
+        for i in range(200):
+            handle = scheduler.at(2.0 + i, lambda i=i: fired.append(i))
+            if i % 4 == 0:
+                survivors.append(i)
+            else:
+                doomed.append(handle)
+        assert scheduler.compactions == 0
+        executed = scheduler.run_until(500.0)
+        assert scheduler.compactions >= 1
+        assert fired == ["reap"] + survivors
+        assert executed == 1 + len(survivors)
+        # len() observed inside the cancelling callback already excluded
+        # every cancelled entry, compacted or not.
+        assert len_inside == [len(survivors)]
+        assert len(scheduler) == 0
+
+    def test_repeating_chain_survives_compaction(self):
+        from repro.sim.scheduler import COMPACT_MIN_QUEUE
+
+        scheduler = Scheduler()
+        ticks = []
+        repeating = scheduler.every(1.0, lambda: ticks.append(scheduler.clock.now))
+        handles = [
+            scheduler.at(100.0 + i, lambda: None)
+            for i in range(COMPACT_MIN_QUEUE * 2)
+        ]
+        for handle in handles:
+            handle.cancel()
+        assert scheduler.compactions >= 1
+        scheduler.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        repeating.cancel()
+        scheduler.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
