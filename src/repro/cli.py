@@ -381,6 +381,87 @@ def _cmd_detect(args: argparse.Namespace) -> str:
     return render_detection(design, runs, chaos=chaos)
 
 
+def _cmd_designs(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.cloud.pdp import PolicySpec
+    from repro.secure import SECURE_BASELINES
+    from repro.vendors import STUDIED_VENDORS
+
+    catalog = list(STUDIED_VENDORS) + list(SECURE_BASELINES)
+
+    if args.action == "list":
+        rows = []
+        for design in catalog:
+            spec = PolicySpec.from_design(design)
+            rows.append({
+                "name": design.name,
+                "kind": ("baseline" if design in tuple(SECURE_BASELINES)
+                         else "vendor"),
+                "rules": sum(len(refs) for refs in spec.actions.values()),
+                "digest": spec.digest()[:12],
+            })
+        if args.format == "json":
+            return json.dumps(rows, indent=2, sort_keys=True)
+        width = max(len(row["name"]) for row in rows)
+        lines = [f"{'design':<{width}}  kind      rules  spec digest"]
+        lines.extend(
+            f"{row['name']:<{width}}  {row['kind']:<8}  {row['rules']:>5}  "
+            f"{row['digest']}"
+            for row in rows
+        )
+        return "\n".join(lines)
+
+    if args.action == "describe":
+        matches = [d for d in catalog if d.name == args.name]
+        if not matches:
+            from repro.core.errors import ConfigurationError
+
+            known = ", ".join(d.name for d in catalog)
+            raise ConfigurationError(
+                f"unknown design {args.name!r} (known: {known})"
+            )
+        spec = PolicySpec.from_design(matches[0])
+        if args.format == "json":
+            return json.dumps(spec.to_data(), indent=2, sort_keys=True)
+        lines = [f"policy spec of {spec.name} (digest {spec.digest()[:12]}):"]
+        for action, refs in spec.to_data()["actions"].items():
+            lines.append(f"  {action}:")
+            for index, ref in enumerate(refs, start=1):
+                from repro.cloud.pdp.spec import RuleRef
+
+                lines.append(
+                    f"    {index}. {RuleRef(ref['rule'], ref.get('params')).render()}"
+                )
+        return "\n".join(lines)
+
+    if args.action == "enumerate":
+        from repro.analysis.policy_space import enumerate_policy_space
+
+        digests = set()
+        count = 0
+        for point in enumerate_policy_space(limit=args.limit):
+            count += 1
+            digests.add(point.rules_digest)
+        if args.format == "json":
+            return json.dumps(
+                {"policies": count, "distinct_rule_sets": len(digests)},
+                indent=2, sort_keys=True,
+            )
+        return (
+            f"enumerated {count} consistent policies "
+            f"({len(digests)} distinct rule sets)"
+        )
+
+    # action == "diff": predictor vs Figure-2 model checker, per policy.
+    from repro.analysis.policy_space import differential_check
+
+    report = differential_check(limit=args.limit)
+    if args.format == "json":
+        return json.dumps(report.to_data(), indent=2, sort_keys=True)
+    return report.render()
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> str:
     import json
 
@@ -592,6 +673,19 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--no-resilience", action="store_true")
     detect.add_argument("--format", choices=["text", "json"], default="text")
     detect.set_defaults(run=_cmd_detect)
+
+    designs = sub.add_parser(
+        "designs",
+        help="declarative policy specs: catalog, rule lists, space diff",
+    )
+    designs.add_argument("action",
+                         choices=["list", "describe", "enumerate", "diff"])
+    designs.add_argument("name", nargs="?", default=None,
+                         help="design name (describe)")
+    designs.add_argument("--limit", type=int, default=None,
+                         help="cap enumerated policies (enumerate/diff)")
+    designs.add_argument("--format", choices=["text", "json"], default="text")
+    designs.set_defaults(run=_cmd_designs)
 
     snapshot = sub.add_parser(
         "snapshot", help="save / inspect / load a cloud state snapshot (v2)"

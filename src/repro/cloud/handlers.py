@@ -1,33 +1,36 @@
-"""Cloud endpoint logic: every authentication/authorization decision.
+"""Cloud endpoints as thin policy *enforcement* points (PEPs).
 
-Each handler implements one endpoint of the vendor cloud, consulting
-the :class:`~repro.cloud.policy.VendorDesign` for exactly the checks the
-paper found present or absent in real products.  Attacks in
-``repro.attacks`` succeed or fail *only* because of decisions made here —
-there is no out-of-band "this vendor is vulnerable" flag anywhere.
+Each handler implements one endpoint of the vendor cloud in three
+steps: phrase the request as a typed
+:class:`~repro.cloud.pdp.model.AuthzRequest`, enforce the
+:class:`~repro.cloud.pdp.model.Decision` made by the cloud's policy
+decision point (:class:`~repro.cloud.pdp.engine.PolicyDecisionPoint`),
+and perform the allowed mutation.  Every authentication/authorization
+*check* lives in the PDP's declarative rule list
+(:class:`~repro.cloud.pdp.spec.PolicySpec`), compiled from the
+:class:`~repro.cloud.policy.VendorDesign`; attacks in ``repro.attacks``
+succeed or fail *only* because of decisions made there — there is no
+out-of-band "this vendor is vulnerable" flag anywhere.
 
 Map from paper to code:
 
-* Figure 3 (device authentication)  -> :meth:`EndpointHandlers.authenticate_device`
+* Figure 3 (device authentication)  -> the ``authenticate-device`` rule
 * Figure 4 (binding creation)       -> :meth:`EndpointHandlers.handle_bind`
 * Section IV-C (binding revocation) -> :meth:`EndpointHandlers.handle_unbind`
-* Section IV-B (post-binding authorization) -> the ``post_token`` logic
-  in :meth:`handle_bind` / :meth:`handle_control` / :meth:`handle_fetch`
-* Device #7's IP-match check        -> :meth:`_check_ip_match`
+* Section IV-B (post-binding authorization) -> the
+  ``require-post-binding-token`` rule + the ``post_token`` issuance in
+  :meth:`handle_bind` / :meth:`handle_fetch`
+* Device #7's IP-match check        -> the
+  ``require-fresh-same-ip-registration`` rule
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.errors import (
-    AuthenticationFailed,
-    AuthorizationFailed,
-    BindingConflict,
-    ProtocolError,
-    RequestRejected,
-    UnknownDevice,
-)
+from repro.cloud.pdp.model import AuthzRequest, Decision
+from repro.cloud.relay import QueuedCommand
+from repro.core.errors import RequestRejected
 from repro.core.messages import (
     BindingInfoRequest,
     BindMessage,
@@ -38,7 +41,6 @@ from repro.core.messages import (
     EventPollRequest,
     LoginRequest,
     LoginResponse,
-    Message,
     QueryRequest,
     Response,
     ScheduleUpdate,
@@ -48,9 +50,6 @@ from repro.core.messages import (
     TokenResponse,
     UnbindMessage,
 )
-from repro.cloud.authz import MISS, unwrap
-from repro.cloud.policy import BindSchema, BindSender, DeviceAuthMode
-from repro.cloud.relay import QueuedCommand
 from repro.identity.tokens import TokenKind
 from repro.net.packet import Packet
 
@@ -59,12 +58,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class EndpointHandlers:
-    """The vendor cloud's request handlers.
+    """The vendor cloud's request handlers (enforcement points).
 
     The recurring read-only authorization questions (token -> user,
-    device credential check, user-may-touch-device) are answered through
-    the cloud's :class:`~repro.cloud.authz.AuthorizationCache`: pure
-    decisions memoized under the shared authorization epoch, so any
+    device credential check, user-may-touch-device) are answered inside
+    the PDP rules through the cloud's
+    :class:`~repro.cloud.authz.AuthorizationCache`: pure decisions
+    memoized under the shared authorization epoch, so any
     binding/token/share/registry mutation invalidates them wholesale.
     Only decisions, never store objects, are cached — live records
     (bindings) are re-fetched on every hit.
@@ -74,24 +74,30 @@ class EndpointHandlers:
         self.service = service
 
     # ------------------------------------------------------------------
-    # cached authorization primitives
+    # enforcement
     # ------------------------------------------------------------------
 
-    def _require_user(self, user_token: Optional[str]) -> str:
-        """Cached ``accounts.require_user`` (pure, version-guarded)."""
+    def _enforce(self, decision: Decision) -> Decision:
+        """Apply the decision's obligations, then raise any rejection.
+
+        Obligations are deny-path side effects the policy demands even
+        though the request fails (XACML-style); today's only obligation
+        is the bind-probe enumeration counter, charged *before* the
+        rejection propagates — exactly the pre-PDP ordering.
+        """
         svc = self.service
-        cache = svc.authz_cache
-        key = ("user", user_token)
-        value = cache.lookup(key)
-        if value is not MISS:
-            return unwrap(value)
-        try:
-            user = svc.accounts.require_user(user_token)
-        except AuthenticationFailed as exc:
-            cache.store_rejection(key, exc)
-            raise
-        cache.store(key, user)
-        return user
+        for kind, argument in decision.obligations:
+            if kind == "count-bind-probe-failure":
+                svc.bind_probe_failures[argument] = (
+                    svc.bind_probe_failures.get(argument, 0) + 1
+                )
+        if not decision.allowed:
+            raise decision.rejection
+        return decision
+
+    def _decide(self, request: AuthzRequest) -> Decision:
+        """Ask the PDP and enforce its verdict in one step."""
+        return self._enforce(self.service.pdp.decide(request))
 
     # ------------------------------------------------------------------
     # account endpoints
@@ -100,6 +106,7 @@ class EndpointHandlers:
     def handle_login(self, packet: Packet, message: LoginRequest) -> LoginResponse:
         """Password login (Figure 1 step 1)."""
         svc = self.service
+        self._decide(AuthzRequest("login", user_id=message.user_id))
         token = svc.accounts.login(message.user_id, message.user_pw, svc.now)
         return LoginResponse(user_id=message.user_id, user_token=token)
 
@@ -108,93 +115,26 @@ class EndpointHandlers:
 
         If the device is already bound, only its bound user may fetch a
         token — otherwise a remote stranger could mint a credential for
-        someone else's device.
+        someone else's device (the ``require-unbound-or-owner`` rule).
         """
         svc = self.service
-        if svc.design.device_auth is not DeviceAuthMode.DEV_TOKEN:
-            raise RequestRejected("unsupported", "this vendor does not use DevTokens")
-        user = self._require_user(message.user_token)
-        if not svc.registry.is_registered(message.device_id):
-            raise UnknownDevice(message.device_id or "<none>")
-        bound = svc.bindings.bound_user(message.device_id)
-        if bound is not None and bound != user:
-            raise AuthorizationFailed("not-owner", "device is bound to another user")
+        decision = self._decide(AuthzRequest(
+            "dev-token",
+            user_token=message.user_token,
+            device_id=message.device_id,
+        ))
+        user = decision.context["user"]
         token = svc.registry.issue_dev_token(message.device_id, user, svc.now)
         return TokenResponse(token=token)
 
     def handle_bind_token_request(self, packet: Packet, message: BindTokenRequest) -> TokenResponse:
         """Capability design: issue a single-use BindToken to the user."""
         svc = self.service
-        if svc.design.bind_schema is not BindSchema.CAPABILITY:
-            raise RequestRejected("unsupported", "this vendor does not use BindTokens")
-        user = self._require_user(message.user_token)
-        token = svc.tokens.issue(TokenKind.BIND, user, svc.now)
+        decision = self._decide(AuthzRequest(
+            "bind-token", user_token=message.user_token,
+        ))
+        token = svc.tokens.issue(TokenKind.BIND, decision.context["user"], svc.now)
         return TokenResponse(token=token)
-
-    # ------------------------------------------------------------------
-    # device authentication (Figure 3)
-    # ------------------------------------------------------------------
-
-    def authenticate_device(
-        self,
-        device_id: Optional[str],
-        dev_token: Optional[str],
-        signature: Optional[str],
-        payload: Optional[dict] = None,
-    ) -> str:
-        """Verify device identity per the design; return the device ID.
-
-        DEV_ID and DEV_TOKEN decisions depend only on (device_id,
-        dev_token) plus registry/token state, so they are served from the
-        authorization cache; PUBKEY verification covers the per-message
-        *payload* and is always computed fresh.
-        """
-        svc = self.service
-        if svc.design.device_auth is DeviceAuthMode.PUBKEY:
-            return self._authenticate_device_uncached(
-                device_id, dev_token, signature, payload
-            )
-        cache = svc.authz_cache
-        key = ("dev", device_id, dev_token)
-        value = cache.lookup(key)
-        if value is not MISS:
-            return unwrap(value)
-        try:
-            result = self._authenticate_device_uncached(
-                device_id, dev_token, signature, payload
-            )
-        except AuthenticationFailed as exc:
-            cache.store_rejection(key, exc)
-            raise
-        cache.store(key, result)
-        return result
-
-    def _authenticate_device_uncached(
-        self,
-        device_id: Optional[str],
-        dev_token: Optional[str],
-        signature: Optional[str],
-        payload: Optional[dict] = None,
-    ) -> str:
-        svc = self.service
-        mode = svc.design.device_auth
-        if device_id is None or not svc.registry.is_registered(device_id):
-            raise AuthenticationFailed("unknown-device-id", str(device_id))
-        if mode is DeviceAuthMode.DEV_ID:
-            # Static identifier: possession of the ID *is* the identity.
-            return device_id
-        if mode is DeviceAuthMode.DEV_TOKEN:
-            if not svc.registry.check_dev_token(device_id, dev_token):
-                raise AuthenticationFailed("bad-dev-token", "stale or missing DevToken")
-            return device_id
-        if mode is DeviceAuthMode.PUBKEY:
-            record = svc.registry.get(device_id)
-            if record.public_key is None:
-                raise AuthenticationFailed("no-public-key", device_id)
-            if signature is None or not record.public_key.verify(payload or {}, signature):
-                raise AuthenticationFailed("bad-signature", device_id)
-            return device_id
-        raise ProtocolError(f"unhandled auth mode {mode}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Status (registration / heartbeat)
@@ -203,12 +143,14 @@ class EndpointHandlers:
     def handle_status(self, packet: Packet, message: StatusMessage) -> Response:
         """Authenticate a Status message and update the shadow (Figure 2 (1)/(6))."""
         svc = self.service
-        device_id = self.authenticate_device(
-            message.device_id,
-            message.dev_token,
-            message.signature,
+        decision = self._decide(AuthzRequest(
+            "status",
+            device_id=message.device_id,
+            dev_token=message.dev_token,
+            signature=message.signature,
             payload={"device_id": message.device_id, "model": message.model},
-        )
+        ))
+        device_id = decision.context["device"]
         shadow = svc.shadows.get(device_id)
         # Connection bookkeeping: on single-connection clouds the newest
         # authenticated sender evicts the previous one (the A3-4 lever);
@@ -231,39 +173,32 @@ class EndpointHandlers:
     # ------------------------------------------------------------------
 
     def handle_bind(self, packet: Packet, message: BindMessage) -> Response:
-        """Create a binding per the Figure 4 design and the policy checks."""
+        """Create a binding per the Figure 4 design and the policy rules."""
+        svc = self.service
+        decision = self._decide(AuthzRequest(
+            "bind",
+            source=packet.src,
+            source_ip=packet.observed_src_ip,
+            device_id=message.device_id,
+            user_token=message.user_token,
+            user_id=message.user_id,
+            user_pw=message.user_pw,
+            bind_token=message.bind_token,
+        ))
+        if "bind_record" in decision.context:
+            return self._capability_bind(decision, message)
+        return self._acl_bind(decision, message)
+
+    def _acl_bind(self, decision: Decision, message: BindMessage) -> Response:
+        """Figure 4a/4b mutation: create (or replace) the ACL binding."""
         svc = self.service
         design = svc.design
-        if design.bind_schema is BindSchema.CAPABILITY:
-            return self._handle_capability_bind(packet, message)
-
-        user = self._bind_requester(message)
+        user = decision.context["user"]
         device_id = message.device_id
-        limit = design.bind_probe_rate_limit
-        if limit is not None and svc.bind_probe_failures.get(user, 0) >= limit:
-            raise RequestRejected(
-                "rate-limited",
-                "too many bind attempts for unknown devices from this account",
-            )
-        if not svc.registry.is_registered(device_id):
-            if limit is not None:
-                svc.bind_probe_failures[user] = svc.bind_probe_failures.get(user, 0) + 1
-            raise UnknownDevice(device_id or "<none>")
         shadow = svc.shadows.get(device_id)
 
-        if design.ip_match_required:
-            self._check_ip_match(device_id, packet)
-        if design.bind_requires_online_device and not shadow.is_online:
-            raise BindingConflict("device-offline", "binding requires an online device")
-
-        replace = False
-        existing = svc.bindings.get(device_id)
-        if existing is not None:
-            if not design.rebind_replaces_existing:
-                raise BindingConflict(
-                    "already-bound", f"device {device_id!r} is bound to another user"
-                )
-            replace = True
+        replace = bool(decision.context.get("replace", False))
+        if replace:
             self._teardown_binding(device_id, reason="replaced")
 
         post_token: Optional[str] = None
@@ -276,7 +211,7 @@ class EndpointHandlers:
         svc.notify(user, "binding-created", device_id)
 
         rotated: Optional[str] = None
-        if design.device_auth is DeviceAuthMode.DEV_TOKEN:
+        if design.device_auth.value == "DevToken":
             # A binding by a new user rotates the DevToken; the physical
             # device keeps working only if the binding user delivers the
             # fresh token locally (Section VI-B, device #3's saving grace).
@@ -289,68 +224,19 @@ class EndpointHandlers:
             payload["dev_token"] = rotated
         return Response(payload=payload)
 
-    def _bind_requester(self, message: BindMessage) -> str:
-        """Authenticate whoever is asking to create the binding."""
+    def _capability_bind(self, decision: Decision, message: BindMessage) -> Response:
+        """Figure 4c mutation: consume the BindToken, confirm, bind."""
         svc = self.service
-        design = svc.design
-        if design.bind_sender is BindSender.DEVICE:
-            # Figure 4b: the device submits the user's credentials, which
-            # were delivered to it during local configuration.
-            if message.user_id is None or message.user_pw is None:
-                raise RequestRejected(
-                    "bad-bind-format", "this vendor expects device-submitted credentials"
-                )
-            if not svc.accounts.check_password(message.user_id, message.user_pw):
-                raise AuthenticationFailed("bad-credentials", "device-submitted login failed")
-            return message.user_id
-        if message.user_token is None:
-            raise RequestRejected(
-                "bad-bind-format", "this vendor expects an app-submitted UserToken"
-            )
-        return self._require_user(message.user_token)
-
-    def _check_ip_match(self, device_id: str, packet: Packet) -> None:
-        """Device #7: bind only after a fresh button-press registration
-        arriving from the same source IP as the app's request."""
-        svc = self.service
-        mark = svc.shadows.registration_of(device_id)
-        if mark is None or svc.now - mark.time > svc.design.bind_window_seconds:
-            raise BindingConflict(
-                "no-fresh-registration",
-                f"press the device button within {svc.design.bind_window_seconds:.0f}s",
-            )
-        if mark.source_ip != packet.observed_src_ip:
-            raise BindingConflict(
-                "ip-mismatch",
-                f"app at {packet.observed_src_ip} but device registered from {mark.source_ip}",
-            )
-
-    def _handle_capability_bind(self, packet: Packet, message: BindMessage) -> Response:
-        """Figure 4c: the *device* submits the BindToken it received
-        locally from the user's app, proving local co-presence."""
-        svc = self.service
-        record = svc.tokens.lookup(message.bind_token, TokenKind.BIND)
-        if record is None:
-            raise AuthorizationFailed("bad-bind-token", "unknown or spent BindToken")
+        record = decision.context["bind_record"]
+        user = decision.context["user"]
         device_id = message.device_id
-        if device_id is None or not svc.registry.is_registered(device_id):
-            raise UnknownDevice(device_id or "<none>")
-        shadow = svc.shadows.get(device_id)
-        if not shadow.is_online or shadow.connection_id != packet.src:
-            raise AuthenticationFailed(
-                "device-not-authenticated",
-                "capability bindings are confirmed over the device's own connection",
-            )
-        if svc.bindings.is_bound(device_id):
-            raise BindingConflict("already-bound", "unbind first")
         svc.tokens.revoke(record.token)  # single use
-        user = record.subject
         post_token = svc.tokens.issue(TokenKind.POST_BINDING, f"{device_id}:{user}", svc.now)
         svc.bindings.create(device_id, user, svc.now, post_token=post_token)
         # The device itself just proved presence: confirm through the
         # store so the flip is journaled like any other mutation.
         svc.bindings.confirm_device(device_id, post_token)
-        shadow.mark_bound(user, svc.now)
+        svc.shadows.get(device_id).mark_bound(user, svc.now)
         return Response(payload={"bound_user": user, "post_binding_token": post_token})
 
     # ------------------------------------------------------------------
@@ -359,33 +245,13 @@ class EndpointHandlers:
 
     def handle_unbind(self, packet: Packet, message: UnbindMessage) -> Response:
         """Revoke a binding per the Section IV-C revocation policy."""
-        svc = self.service
-        design = svc.design
-        if not design.unbind_supported:
-            raise RequestRejected("unbind-unsupported", "vendor has no revocation endpoint")
-        device_id = message.device_id
-        if not svc.registry.is_registered(device_id):
-            raise UnknownDevice(device_id or "<none>")
-        binding = svc.bindings.get(device_id)
-        if binding is None:
-            raise BindingConflict("not-bound", f"device {device_id!r} has no binding")
-
-        if message.user_token is None:
-            # Type 2: Unbind : DevId — anyone with the ID can revoke.
-            if not design.unbind_accepts_bare_dev_id:
-                raise RequestRejected(
-                    "missing-user-token", "this vendor requires a UserToken to unbind"
-                )
-        else:
-            # Type 1: Unbind : (DevId, UserToken)
-            user = self._require_user(message.user_token)
-            if design.unbind_checks_bound_user and binding.user_id != user:
-                raise AuthorizationFailed(
-                    "not-bound-user", "requester is not the bound user"
-                )
-
-        self._teardown_binding(device_id, reason="unbound")
-        return Response(payload={"unbound": device_id})
+        self._decide(AuthzRequest(
+            "unbind",
+            device_id=message.device_id,
+            user_token=message.user_token,
+        ))
+        self._teardown_binding(message.device_id, reason="unbound")
+        return Response(payload={"unbound": message.device_id})
 
     def _teardown_binding(self, device_id: str, reason: str) -> None:
         """Shared cleanup when a binding disappears (revoked or replaced)."""
@@ -405,93 +271,21 @@ class EndpointHandlers:
     # post-binding traffic
     # ------------------------------------------------------------------
 
-    def _require_bound_user(self, user_token: Optional[str], device_id: str):
-        svc = self.service
-        cache = svc.authz_cache
-        key = ("owner", user_token, device_id)
-        value = cache.lookup(key)
-        if value is not MISS:
-            # Same epoch => the binding row cannot have changed; re-fetch
-            # the live object rather than caching a reference to it.
-            return unwrap(value), svc.bindings.get(device_id)
-        try:
-            user = self._require_user(user_token)
-            binding = svc.bindings.get(device_id)
-            if binding is None:
-                raise BindingConflict(
-                    "not-bound", f"device {device_id!r} has no binding"
-                )
-            if binding.user_id != user:
-                raise AuthorizationFailed(
-                    "not-bound-user", "requester is not the bound user"
-                )
-        except (AuthenticationFailed, AuthorizationFailed, BindingConflict) as exc:
-            cache.store_rejection(key, exc)
-            raise
-        cache.store(key, user)
-        return user, binding
-
-    def _require_access(self, user_token: Optional[str], device_id: str):
-        """Owner *or* share-grantee access (control/query surfaces).
-
-        Returns ``(user, binding, is_owner)``.  Grants are explicit
-        cloud-side authorizations created by the owner — never ambient
-        authority — so they extend the binding without weakening it.
-        """
-        svc = self.service
-        cache = svc.authz_cache
-        key = ("access", user_token, device_id)
-        value = cache.lookup(key)
-        if value is not MISS:
-            user, is_owner = unwrap(value)
-            return user, svc.bindings.get(device_id), is_owner
-        try:
-            user = self._require_user(user_token)
-            binding = svc.bindings.get(device_id)
-            if binding is None:
-                raise BindingConflict(
-                    "not-bound", f"device {device_id!r} has no binding"
-                )
-            if binding.user_id == user:
-                is_owner = True
-            elif svc.shares.is_granted(device_id, user):
-                is_owner = False
-            else:
-                raise AuthorizationFailed(
-                    "not-bound-user", "requester is not the bound user"
-                )
-        except (AuthenticationFailed, AuthorizationFailed, BindingConflict) as exc:
-            cache.store_rejection(key, exc)
-            raise
-        cache.store(key, (user, is_owner))
-        return user, binding, is_owner
-
     def handle_control(self, packet: Packet, message: ControlMessage) -> Response:
         """Relay a user command to the device, enforcing ownership."""
         svc = self.service
-        user, binding, is_owner = self._require_access(
-            message.user_token, message.device_id
-        )
-        shadow = svc.shadows.get(message.device_id)
-        if not shadow.is_online:
-            raise RequestRejected("device-offline", "device is not connected")
-        if svc.design.post_binding_token:
-            # The token pins the owner<->device pair; grantees are
-            # authorized by their explicit grant instead, but the device
-            # side must still have confirmed the binding.
-            if is_owner and message.post_binding_token != binding.post_token:
-                raise AuthorizationFailed("bad-post-token", "control requires the binding token")
-            if not binding.device_confirmed:
-                raise AuthorizationFailed(
-                    "device-not-confirmed",
-                    "device never presented this binding's token",
-                )
+        decision = self._decide(AuthzRequest(
+            "control",
+            user_token=message.user_token,
+            device_id=message.device_id,
+            post_binding_token=message.post_binding_token,
+        ))
         svc.relay.queue_command(
             message.device_id,
             QueuedCommand(
                 message.command,
                 dict(message.arguments),
-                user,
+                decision.context["user"],
                 svc.now,
                 trace_id=packet.trace.trace_id if packet.trace is not None else None,
             ),
@@ -501,8 +295,10 @@ class EndpointHandlers:
     def handle_event_poll(self, packet: Packet, message: EventPollRequest) -> Response:
         """Drain the requesting user's notification inbox."""
         svc = self.service
-        user = self._require_user(message.user_token)
-        events = svc.events.poll(user)
+        decision = self._decide(AuthzRequest(
+            "event-poll", user_token=message.user_token,
+        ))
+        events = svc.events.poll(decision.context["user"])
         return Response(payload={
             "events": [
                 {"time": e.time, "kind": e.kind, "device_id": e.device_id,
@@ -514,10 +310,14 @@ class EndpointHandlers:
     def handle_binding_info(self, packet: Packet, message: BindingInfoRequest) -> Response:
         """Return the requester's own binding metadata (incl. the
         post-binding token — the user's half, Section IV-B)."""
-        svc = self.service
-        user, binding = self._require_bound_user(message.user_token, message.device_id)
+        decision = self._decide(AuthzRequest(
+            "binding-info",
+            user_token=message.user_token,
+            device_id=message.device_id,
+        ))
+        binding = decision.context["binding"]
         payload = {
-            "bound_user": user,
+            "bound_user": decision.context["user"],
             "created_at": binding.created_at,
             "device_confirmed": binding.device_confirmed,
         }
@@ -528,16 +328,31 @@ class EndpointHandlers:
     def handle_share(self, packet: Packet, message: ShareRequest) -> Response:
         """Owner grants another account access (many-to-one binding)."""
         svc = self.service
-        user, _binding = self._require_bound_user(message.user_token, message.device_id)
-        if not svc.accounts.exists(message.grantee):
-            raise RequestRejected("unknown-grantee", message.grantee)
-        svc.shares.grant(message.device_id, user, message.grantee, svc.now)
+        decision = self._decide(AuthzRequest(
+            "share",
+            user_token=message.user_token,
+            device_id=message.device_id,
+            grantee=message.grantee,
+        ))
+        svc.shares.grant(
+            message.device_id, decision.context["user"], message.grantee, svc.now
+        )
         return Response(payload={"shared_with": message.grantee})
 
     def handle_share_revoke(self, packet: Packet, message: ShareRevoke) -> Response:
-        """Withdraw a share grant (owner only)."""
+        """Withdraw a share grant (owner only).
+
+        The "was it actually shared" outcome is coupled to the store
+        mutation itself (``revoke`` reports whether it removed a grant),
+        so it stays here in the enforcement point rather than in a rule.
+        """
         svc = self.service
-        self._require_bound_user(message.user_token, message.device_id)
+        self._decide(AuthzRequest(
+            "share-revoke",
+            user_token=message.user_token,
+            device_id=message.device_id,
+            grantee=message.grantee,
+        ))
         if not svc.shares.revoke(message.device_id, message.grantee):
             raise RequestRejected("not-shared", message.grantee)
         return Response(payload={"revoked": message.grantee})
@@ -545,16 +360,22 @@ class EndpointHandlers:
     def handle_schedule(self, packet: Packet, message: ScheduleUpdate) -> Response:
         """Store the owner-set schedule for later device sync."""
         svc = self.service
-        user, _binding = self._require_bound_user(message.user_token, message.device_id)
+        self._decide(AuthzRequest(
+            "schedule",
+            user_token=message.user_token,
+            device_id=message.device_id,
+        ))
         svc.relay.set_schedule(message.device_id, message.schedule)
         return Response(payload={"schedule": dict(message.schedule)})
 
     def handle_query(self, packet: Packet, message: QueryRequest) -> Response:
         """Read back device state/telemetry/schedule for an authorized user."""
         svc = self.service
-        user, _binding, _is_owner = self._require_access(
-            message.user_token, message.device_id
-        )
+        self._decide(AuthzRequest(
+            "query",
+            user_token=message.user_token,
+            device_id=message.device_id,
+        ))
         shadow = svc.shadows.get(message.device_id)
         telemetry = svc.relay.telemetry_of(message.device_id)
         payload = {
@@ -568,12 +389,14 @@ class EndpointHandlers:
         """Device poll: pending commands + (for data-bearing channels) the
         schedule.  This is the A1-stealing surface on DevId designs."""
         svc = self.service
-        device_id = self.authenticate_device(
-            message.device_id,
-            message.dev_token,
-            message.signature,
+        decision = self._decide(AuthzRequest(
+            "fetch",
+            device_id=message.device_id,
+            dev_token=message.dev_token,
+            signature=message.signature,
             payload={"device_id": message.device_id, "model": ""},
-        )
+        ))
+        device_id = decision.context["device"]
         binding = svc.bindings.get(device_id)
         if binding is not None and message.post_binding_token is not None:
             # Through the store, not the dataclass, so the confirmation
@@ -589,4 +412,3 @@ class EndpointHandlers:
         if svc.design.status_yields_user_data:
             payload["schedule"] = svc.relay.schedule_of(device_id)
         return Response(payload=payload)
-

@@ -1,0 +1,42 @@
+"""The cloud's policy decision point (PDP).
+
+The authorization half of every endpoint in
+:mod:`repro.cloud.handlers` lives here, split the classic PDP/PEP way:
+
+* :mod:`repro.cloud.pdp.model` — the typed request
+  (:class:`AuthzRequest`), the typed, explainable verdict
+  (:class:`Decision`) and its per-rule evaluation trail
+  (:class:`RuleEval`);
+* :mod:`repro.cloud.pdp.rules` — the rule vocabulary: every check the
+  paper found present or absent in a studied cloud, as a named,
+  parameterized predicate over the cloud's stores;
+* :mod:`repro.cloud.pdp.spec` — :class:`PolicySpec`: one vendor's
+  authorization policy as *data* (an ordered rule list per endpoint),
+  compiled from a :class:`~repro.cloud.policy.VendorDesign`, validated
+  structurally, and round-trippable through JSON;
+* :mod:`repro.cloud.pdp.engine` — :class:`PolicyDecisionPoint`, the
+  single evaluator the enforcement points call.
+
+The handlers remain as thin policy *enforcement* points: they build an
+:class:`AuthzRequest`, enforce the :class:`Decision`, and perform the
+allowed mutation.  See ``docs/authorization.md``.
+"""
+
+from repro.cloud.pdp.engine import PolicyDecisionPoint
+from repro.cloud.pdp.model import ACTIONS, AuthzRequest, Decision, RuleEval
+from repro.cloud.pdp.rules import RULES, RuleDef
+from repro.cloud.pdp.spec import PolicySpec, PolicySpecError, RuleRef, validate_spec
+
+__all__ = [
+    "ACTIONS",
+    "AuthzRequest",
+    "Decision",
+    "PolicyDecisionPoint",
+    "PolicySpec",
+    "PolicySpecError",
+    "RULES",
+    "RuleDef",
+    "RuleEval",
+    "RuleRef",
+    "validate_spec",
+]

@@ -1,0 +1,79 @@
+"""The policy decision point: one evaluator for every endpoint.
+
+A :class:`PolicyDecisionPoint` binds a validated
+:class:`~repro.cloud.pdp.spec.PolicySpec` to one cloud's stores and
+answers :class:`~repro.cloud.pdp.model.AuthzRequest`\\ s with
+:class:`~repro.cloud.pdp.model.Decision`\\ s.  Rule lists are compiled
+to ``(name, impl, params)`` tuples at construction so the per-request
+loop does no registry lookups; evaluation stops at the first denial
+(exactly where the inline handler would have raised).
+
+The decision most recently produced is retained until
+:meth:`take_last_decision` collects it — the service's audit/forensic
+recording step runs *after* dispatch returns and uses this to attach
+the rule trace to the exchange's evidence without threading decisions
+through every handler signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cloud.pdp.model import AuthzRequest, Decision, RuleEval
+from repro.cloud.pdp.rules import RULES, EvalContext
+from repro.cloud.pdp.spec import PolicySpec, validate_spec
+
+
+class PolicyDecisionPoint:
+    """Evaluates one cloud's :class:`PolicySpec` over its live stores."""
+
+    __slots__ = ("service", "spec", "_compiled", "_last")
+
+    def __init__(self, service: Any, spec: PolicySpec) -> None:
+        validate_spec(spec)
+        self.service = service
+        self.spec = spec
+        #: per-rule entries ``(name, impl, params, shared pass-eval)`` —
+        #: the pass-side :class:`RuleEval` is immutable, so one instance
+        #: per compiled rule serves every decision without allocating
+        self._compiled: Dict[str, Tuple[Tuple[str, Any, Dict[str, Any], RuleEval], ...]] = {
+            action: tuple(
+                (ref.rule, RULES[ref.rule].impl, dict(ref.params),
+                 RuleEval(ref.rule, "pass"))
+                for ref in refs
+            )
+            for action, refs in spec.actions.items()
+        }
+        self._last: Optional[Decision] = None
+
+    def decide(self, request: AuthzRequest) -> Decision:
+        """Evaluate *request* against its action's rule list, in order."""
+        ctx = EvalContext(self.service, request)
+        evaluations = []
+        for name, impl, params, passed in self._compiled[request.action]:
+            rejection = impl(ctx, params)
+            if rejection is not None:
+                evaluations.append(
+                    RuleEval(name, "deny", getattr(rejection, "code", ""))
+                )
+                obligations = ctx.obligations
+                return self._finish(Decision(
+                    False, rejection, tuple(evaluations),
+                    tuple(obligations) if obligations else (), ctx.out,
+                ))
+            evaluations.append(passed)
+        obligations = ctx.obligations
+        return self._finish(Decision(
+            True, None, tuple(evaluations),
+            tuple(obligations) if obligations else (), ctx.out,
+        ))
+
+    def take_last_decision(self) -> Optional[Decision]:
+        """Collect (and clear) the decision of the most recent request."""
+        decision = self._last
+        self._last = None
+        return decision
+
+    def _finish(self, decision: Decision) -> Decision:
+        self._last = decision
+        return decision

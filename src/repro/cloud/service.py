@@ -17,6 +17,7 @@ from repro.cloud.audit import AuditLog
 from repro.cloud.authz import AuthorizationCache, AuthzVersion
 from repro.cloud.bindings import BindingStore
 from repro.cloud.handlers import EndpointHandlers
+from repro.cloud.pdp import PolicyDecisionPoint, PolicySpec
 from repro.cloud.policy import VendorDesign
 from repro.cloud.registry import DeviceRegistry
 from repro.cloud.events import EventFeed, UserEvent
@@ -103,6 +104,11 @@ class CloudService:
         ):
             authz_store.bind_authz_version(self.authz_version)
         self.authz_cache = AuthorizationCache(self.authz_version)
+        # Authorization policy: the design's knobs compiled to ordered
+        # declarative rules, evaluated by one decision point; handlers
+        # are thin enforcement points over its decisions.
+        self.policy_spec = PolicySpec.from_design(design)
+        self.pdp = PolicyDecisionPoint(self, self.policy_spec)
         # Observability: the audit log feeds the observer (one source of
         # truth for message counters/spans) and shadows report Figure 2
         # transitions.  With the null observer installed, both stores
@@ -416,6 +422,7 @@ class CloudService:
         try:
             response = self._dispatch(packet, message)
         except RequestRejected as exc:
+            decision_trace = self._collect_decision_trace()
             self.audit.record(
                 self.now,
                 packet.src,
@@ -427,9 +434,11 @@ class CloudService:
             )
             if forensic_kind is not None:
                 self._record_forensic(
-                    packet, forensic_kind, exc.code, actor, bound_before
+                    packet, forensic_kind, exc.code, actor, bound_before,
+                    decision_trace=decision_trace,
                 )
             raise
+        decision_trace = self._collect_decision_trace()
         self.audit.record(
             self.now,
             packet.src,
@@ -442,9 +451,29 @@ class CloudService:
                 response.payload.get("replaced", False)
             )
             self._record_forensic(
-                packet, forensic_kind, "ok", actor, bound_before, replaced
+                packet, forensic_kind, "ok", actor, bound_before, replaced,
+                decision_trace=decision_trace,
             )
         return response
+
+    def _collect_decision_trace(self) -> str:
+        """Collect the PDP's decision for the exchange just dispatched.
+
+        Runs *before* the exchange's audit entry is recorded so a real
+        observer can attach the rule trace to that entry's evidence;
+        returns the compact trace for the forensic event.  The trace
+        string is only rendered when someone is watching — a real
+        observer or a live forensic sink — so uninstrumented runs keep
+        the null-observer fast path.
+        """
+        decision = self.pdp.take_last_decision()
+        if decision is None:
+            return ""
+        if self._observed:
+            self._observer.on_authz_decision(decision)
+        elif not self.forensics.has_sinks():
+            return ""
+        return decision.trace()
 
     def _claimed_actor(self, message: Message) -> str:
         """The identity a watched message claims, without enforcing it.
@@ -474,6 +503,7 @@ class CloudService:
         actor: str,
         bound_before: str,
         replaced: bool = False,
+        decision_trace: str = "",
     ) -> None:
         """Append one event to the forensic timeline (always on)."""
         trace = packet.trace
@@ -490,6 +520,7 @@ class CloudService:
             actor=actor,
             bound_before=bound_before,
             replaced=replaced,
+            decision_trace=decision_trace,
         )
 
     def _dispatch(self, packet: Packet, message: Message) -> Message:

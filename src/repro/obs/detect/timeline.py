@@ -59,9 +59,16 @@ class ForensicEvent:
 
     A ``__slots__`` record (one per watched exchange, always on, so
     allocation is on the cloud hot path); treat instances as immutable.
+
+    ``decision_trace`` is *volatile* evidence: the PDP's ordered rule
+    trail for the exchange (``rule:pass>rule:deny(code)``).  It rides on
+    live events for streaming sinks and diagnostics but is deliberately
+    excluded from ``_EVENT_FIELDS`` — identity, serialization, journal
+    records and snapshots are unchanged by it, and replayed history
+    comes back with an empty trail.
     """
 
-    __slots__ = _EVENT_FIELDS
+    __slots__ = _EVENT_FIELDS + ("decision_trace",)
 
     def __init__(
         self,
@@ -78,6 +85,7 @@ class ForensicEvent:
         actor: str,  # claimed identity ("" when unauthenticated)
         bound_before: str,  # binding owner before the request ("" if unbound)
         replaced: bool = False,  # did a Bind displace an existing owner?
+        decision_trace: str = "",  # volatile PDP rule trail (live only)
     ) -> None:
         self.seq = seq
         self.time = time
@@ -92,6 +100,7 @@ class ForensicEvent:
         self.actor = actor
         self.bound_before = bound_before
         self.replaced = replaced
+        self.decision_trace = decision_trace
 
     def _key(self) -> tuple:
         return tuple(getattr(self, name) for name in _EVENT_FIELDS)
@@ -135,6 +144,10 @@ class ForensicTimeline(RecordStoreBase):
         if sink in self._sinks:
             self._sinks.remove(sink)
 
+    def has_sinks(self) -> bool:
+        """Whether any live streaming consumer is subscribed."""
+        return bool(self._sinks)
+
     def record(
         self,
         time: float,
@@ -149,6 +162,7 @@ class ForensicTimeline(RecordStoreBase):
         actor: str,
         bound_before: str,
         replaced: bool = False,
+        decision_trace: str = "",
     ) -> ForensicEvent:
         """Append one live event, journal it, and feed the sinks."""
         event = ForensicEvent(
@@ -165,6 +179,7 @@ class ForensicTimeline(RecordStoreBase):
             actor=actor,
             bound_before=bound_before,
             replaced=replaced,
+            decision_trace=decision_trace,
         )
         self._append(event)
         # Lazy serialization: the record dict is only materialized when a

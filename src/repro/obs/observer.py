@@ -90,6 +90,14 @@ class Observer:
     def on_audit(self, entry: Any) -> None:
         """One cloud audit entry was recorded (request handled or sweep)."""
 
+    def on_authz_decision(self, decision: Any) -> None:
+        """The cloud's PDP decided one request (a typed ``Decision``).
+
+        Fires after dispatch and *before* the exchange's audit entry is
+        recorded, so implementations can correlate the rule trace with
+        the audit evidence that follows it.
+        """
+
     def on_shadow_transition(
         self, device_id: str, event: Any, before: Any, after: Any, time: float
     ) -> None:

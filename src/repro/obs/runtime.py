@@ -36,6 +36,8 @@ class Observability(Observer):
         self.profiler = Profiler()
         self.trace_messages = trace_messages
         self._env: Optional[Any] = None
+        #: rule trace of the decision awaiting its exchange's audit entry
+        self._pending_authz: str = ""
 
     # -- Observer protocol ---------------------------------------------------
 
@@ -88,7 +90,21 @@ class Observability(Observer):
                 # causal chain id the packet brought in, so per-process
                 # span trees can be joined into end-to-end chains.
                 attrs["trace"] = trace_id
+            if self._pending_authz:
+                # The PDP decided this exchange just before the entry was
+                # recorded; the rule trace explains the outcome code.
+                attrs["authz"] = self._pending_authz
+                self._pending_authz = ""
             self.tracer.event(entry.summary, **attrs)
+
+    def on_authz_decision(self, decision: Any) -> None:
+        """Hold the decision's rule trace for the exchange's audit leaf.
+
+        Deliberately metrics-free: decisions are already counted through
+        the audit entries they produce, and the cache keeps its own
+        hit/miss statistics out-of-band.
+        """
+        self._pending_authz = decision.trace()
 
     def on_shadow_transition(
         self, device_id: str, event: Any, before: Any, after: Any, time: float
