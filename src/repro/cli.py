@@ -531,6 +531,101 @@ def _cmd_snapshot(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> str:
+    import json
+    import time
+
+    from repro.core.errors import ConfigurationError
+    from repro.fuzz import (
+        all_designs,
+        design_named,
+        load_corpus,
+        replay_corpus,
+        save_witness,
+    )
+
+    if args.action == "run":
+        from repro.fuzz import fuzz_design, fuzz_differential
+
+        designs = (
+            [design_named(name) for name in args.designs]
+            if args.designs else all_designs()
+        )
+        deadline = (
+            time.monotonic() + args.budget if args.budget is not None else None
+        )
+        found_by = f"repro fuzz run --seed {args.seed}"
+        witnesses = []
+        for design in designs:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            witnesses.extend(fuzz_design(
+                design, seed=args.seed, max_examples=args.max_examples,
+                deadline=deadline, found_by=found_by,
+            ))
+        witnesses.extend(fuzz_differential(
+            designs, seed=args.seed, deadline=deadline, found_by=found_by,
+        ))
+        lines = [
+            f"fuzzed {len(designs)} designs (seed {args.seed}): "
+            f"{len(witnesses)} minimal witnesses"
+        ]
+        for witness in witnesses:
+            lines.append(
+                f"  {witness.name:<52} {' -> '.join(witness.sequence)}"
+            )
+            if args.out:
+                path = save_witness(witness, args.out)
+                lines.append(f"    saved {path}")
+        if len(witnesses) < args.min_findings:
+            raise ConfigurationError(
+                f"found {len(witnesses)} witnesses, "
+                f"expected at least {args.min_findings}"
+            )
+        return "\n".join(lines)
+
+    if args.action == "replay":
+        results = replay_corpus(args.corpus, seed=args.replay_seed)
+        lines = [result.render() for result in results]
+        failed = [result for result in results if not result.ok]
+        lines.append(
+            f"{len(results) - len(failed)}/{len(results)} witnesses replayed ok"
+        )
+        if failed:
+            raise ConfigurationError(
+                "\n".join(lines) + "\ncorpus replay failed: "
+                + ", ".join(result.witness for result in failed)
+            )
+        return "\n".join(lines)
+
+    if args.action == "score":
+        from repro.analysis.fuzz_generalization import (
+            render,
+            score_corpus,
+            write_bench,
+        )
+
+        result = score_corpus(args.corpus)
+        if args.out:
+            write_bench(result, args.out)
+        if args.format == "json":
+            return json.dumps(result, indent=2, sort_keys=True)
+        text = render(result)
+        if args.out:
+            text += f"\nwrote {args.out}"
+        return text
+
+    # list
+    witnesses = load_corpus(args.corpus)
+    lines = [f"{len(witnesses)} witnesses in {args.corpus}:"]
+    for witness in witnesses:
+        lines.append(
+            f"  {witness.name:<52} [{witness.kind}] "
+            f"{'+'.join(witness.designs)}: {' -> '.join(witness.sequence)}"
+        )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (one subcommand per artifact)."""
     parser = argparse.ArgumentParser(
@@ -699,6 +794,44 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--run-seconds", type=float, default=12.0,
                           help="virtual seconds to run before saving")
     snapshot.set_defaults(run=_cmd_snapshot)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="generative protocol fuzzing with model/differential/safety oracles",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="action", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="search all designs for minimal oracle counterexamples"
+    )
+    fuzz_run.add_argument("--budget", type=float, default=None,
+                          help="wall-clock budget in seconds (safety net)")
+    fuzz_run.add_argument("--designs", nargs="*", default=None,
+                          help="restrict to these design names")
+    fuzz_run.add_argument("--max-examples", type=int, default=150,
+                          help="hypothesis examples per search round")
+    fuzz_run.add_argument("--min-findings", type=int, default=0,
+                          help="exit 2 unless at least this many witnesses")
+    fuzz_run.add_argument("--out", default=None,
+                          help="directory to save minimized witnesses into")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-execute a witness corpus; exit 2 on any mismatch"
+    )
+    fuzz_replay.add_argument("corpus", nargs="?",
+                             default="tests/fixtures/fuzz_corpus")
+    fuzz_replay.add_argument("--replay-seed", type=int, default=None,
+                             help="override the recorded world seed")
+    fuzz_score = fuzz_sub.add_parser(
+        "score", help="detector generalization over the witness corpus"
+    )
+    fuzz_score.add_argument("--corpus", default="tests/fixtures/fuzz_corpus")
+    fuzz_score.add_argument("--out", default=None,
+                            help="also write BENCH_fuzz.json here")
+    fuzz_score.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    fuzz_list = fuzz_sub.add_parser("list", help="list the witness corpus")
+    fuzz_list.add_argument("corpus", nargs="?",
+                           default="tests/fixtures/fuzz_corpus")
+    fuzz.set_defaults(run=_cmd_fuzz)
 
     sub.add_parser("sweep", help="closed-form design-space sweep").set_defaults(run=_cmd_sweep)
     sub.add_parser("secure", help="attack the recommended designs").set_defaults(run=_cmd_secure)

@@ -1,0 +1,73 @@
+"""Generative protocol fuzzing for the remote-binding design space.
+
+Five small layers:
+
+* :mod:`repro.fuzz.steps` — the symbolic step vocabulary,
+* :mod:`repro.fuzz.strategies` — hypothesis strategies over it,
+* :mod:`repro.fuzz.executor` — concrete execution of a sequence in a
+  fresh simulated world,
+* :mod:`repro.fuzz.oracles` — model-conformance, cross-design
+  differential, and safety oracles,
+* :mod:`repro.fuzz.witness` / :mod:`repro.fuzz.corpus` — shrinking,
+  serialization, and deterministic replay of counterexamples.
+
+See ``docs/fuzzing.md`` for the operator's guide.
+"""
+
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS,
+    ReplayResult,
+    all_designs,
+    design_named,
+    load_corpus,
+    load_witness,
+    replay_corpus,
+    replay_matrix,
+    replay_witness,
+    save_witness,
+)
+from repro.fuzz.executor import FuzzReport, SequenceExecutor, execute_sequence
+from repro.fuzz.oracles import (
+    ModelTracker,
+    SafetyOracle,
+    differential_divergence,
+    differential_groups,
+    equivalence_fingerprint,
+)
+from repro.fuzz.steps import VOCABULARY, craft_block, principal_of
+from repro.fuzz.strategies import sequence_strategy
+from repro.fuzz.witness import (
+    Witness,
+    fuzz_design,
+    fuzz_differential,
+    witness_from_report,
+)
+
+__all__ = [
+    "DEFAULT_CORPUS",
+    "FuzzReport",
+    "ModelTracker",
+    "ReplayResult",
+    "SafetyOracle",
+    "SequenceExecutor",
+    "VOCABULARY",
+    "Witness",
+    "all_designs",
+    "craft_block",
+    "design_named",
+    "differential_divergence",
+    "differential_groups",
+    "equivalence_fingerprint",
+    "execute_sequence",
+    "fuzz_design",
+    "fuzz_differential",
+    "load_corpus",
+    "load_witness",
+    "principal_of",
+    "replay_corpus",
+    "replay_matrix",
+    "replay_witness",
+    "save_witness",
+    "sequence_strategy",
+    "witness_from_report",
+]

@@ -1,0 +1,197 @@
+"""The witness corpus: serialization, loading, deterministic replay.
+
+Corpus files live in ``tests/fixtures/fuzz_corpus/`` (one JSON file per
+witness, named after the witness) and are a *regression contract*:
+every witness ever minimized must keep reproducing its recorded
+normalized trace and oracle verdict on every design revision, or CI
+fails.  Replay needs only the executor — not hypothesis — so the gate
+runs in minimal environments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.errors import ConfigurationError
+from repro.cloud.policy import VendorDesign
+from repro.fuzz.executor import execute_sequence
+from repro.fuzz.oracles import differential_divergence
+from repro.fuzz.witness import Witness
+
+#: canonical corpus location, relative to the repository root
+DEFAULT_CORPUS = Path("tests/fixtures/fuzz_corpus")
+
+
+def all_designs() -> List[VendorDesign]:
+    """The 10 studied vendors plus the 3 secure baselines."""
+    from repro.secure.designs import SECURE_BASELINES
+    from repro.vendors.profiles import STUDIED_VENDORS
+
+    return list(STUDIED_VENDORS) + list(SECURE_BASELINES)
+
+
+def design_named(name: str) -> VendorDesign:
+    """Lookup across vendors and baselines; raises on unknown names."""
+    for design in all_designs():
+        if design.name == name:
+            return design
+    known = ", ".join(d.name for d in all_designs())
+    raise ConfigurationError(f"unknown design {name!r} (known: {known})")
+
+
+# ---------------------------------------------------------------------------
+# save / load
+# ---------------------------------------------------------------------------
+
+
+def witness_path(witness: Witness, directory: Union[str, Path]) -> Path:
+    """Canonical file path for a witness inside a corpus directory."""
+    return Path(directory) / f"{witness.name}.json"
+
+
+def save_witness(witness: Witness, directory: Union[str, Path]) -> Path:
+    """Write one witness as pretty, diff-stable JSON; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = witness_path(witness, directory)
+    path.write_text(
+        json.dumps(witness.to_data(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_witness(path: Union[str, Path]) -> Witness:
+    """Parse one witness JSON file; raises ConfigurationError on damage."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"cannot read witness {path}: {exc}") from exc
+    return Witness.from_data(data)
+
+
+def load_corpus(path: Union[str, Path]) -> List[Witness]:
+    """All witnesses under *path* (a directory) or just *path* (a file)."""
+    path = Path(path)
+    if path.is_file():
+        return [load_witness(path)]
+    if not path.is_dir():
+        raise ConfigurationError(f"no corpus at {path}")
+    return [load_witness(p) for p in sorted(path.glob("*.json"))]
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """One witness's replay verdict."""
+
+    witness: str
+    kind: str
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """One status line (plus indented problems on mismatch)."""
+        status = "ok" if self.ok else "MISMATCH"
+        line = f"{self.witness:<48} [{self.kind}] {status}"
+        for problem in self.problems:
+            line += f"\n    {problem}"
+        return line
+
+
+def replay_witness(witness: Witness, seed: Optional[int] = None) -> ReplayResult:
+    """Re-execute a witness; it must fail again, identically.
+
+    *seed* overrides the recorded world seed — traces are normalized
+    (roles and codes only), so a witness must replay bit-identically
+    under any seed; corpus tests exploit this to prove seed independence.
+    """
+    run_seed = witness.seed if seed is None else seed
+    problems: List[str] = []
+    if witness.kind == "differential":
+        group = [design_named(name) for name in witness.designs]
+        finding = differential_divergence(group, witness.sequence, seed=run_seed)
+        if finding is None:
+            problems.append("recorded divergence no longer reproduces")
+        else:
+            for key in ("kind", "step", "step_name"):
+                if finding.get(key) != witness.finding.get(key):
+                    problems.append(
+                        f"divergence {key} changed: recorded "
+                        f"{witness.finding.get(key)!r}, got {finding.get(key)!r}"
+                    )
+            if sorted(finding.get("designs", [])) != sorted(
+                witness.finding.get("designs", [])
+            ):
+                problems.append(
+                    f"diverging pair changed: recorded "
+                    f"{witness.finding.get('designs')}, got {finding.get('designs')}"
+                )
+    else:
+        report = execute_sequence(
+            design_named(witness.design), witness.sequence, seed=run_seed
+        )
+        keys = [list(k) for k in report.finding_keys()]
+        if keys != witness.finding_keys:
+            problems.append(
+                f"oracle verdict changed: recorded {witness.finding_keys}, "
+                f"got {keys}"
+            )
+        if witness.trace and report.trace != witness.trace:
+            for index, (old, new) in enumerate(zip(witness.trace, report.trace)):
+                if old != new:
+                    problems.append(
+                        f"trace diverges at step {index}: recorded {old}, got {new}"
+                    )
+                    break
+            else:
+                problems.append(
+                    f"trace length changed: recorded {len(witness.trace)}, "
+                    f"got {len(report.trace)}"
+                )
+    return ReplayResult(
+        witness=witness.name, kind=witness.kind, ok=not problems,
+        problems=problems,
+    )
+
+
+def replay_corpus(
+    path: Union[str, Path] = DEFAULT_CORPUS,
+    seed: Optional[int] = None,
+) -> List[ReplayResult]:
+    """Replay every witness under *path*; empty corpus is an error."""
+    witnesses = load_corpus(path)
+    if not witnesses:
+        raise ConfigurationError(f"corpus at {path} holds no witnesses")
+    return [replay_witness(w, seed=seed) for w in witnesses]
+
+
+def replay_matrix(
+    path: Union[str, Path] = DEFAULT_CORPUS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[List[str]]]]:
+    """Every (single-design) witness sequence replayed over all 13 designs.
+
+    Returns ``{witness: {design: finding_keys}}`` — the cross-design
+    behaviour fingerprint ``tools/check_design_matrix.py`` pins, so a
+    policy regression anywhere in the matrix (not just on the design a
+    witness was found on) trips CI.
+    """
+    matrix: Dict[str, Dict[str, List[List[str]]]] = {}
+    for witness in load_corpus(path):
+        if witness.kind == "differential":
+            continue
+        row: Dict[str, List[List[str]]] = {}
+        for design in all_designs():
+            report = execute_sequence(design, witness.sequence, seed=seed)
+            row[design.name] = [list(k) for k in report.finding_keys()]
+        matrix[witness.name] = row
+    return matrix

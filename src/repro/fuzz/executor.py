@@ -1,0 +1,486 @@
+"""Concrete sequence execution: fuzz steps through ``CloudService.handle_packet``.
+
+The executor owns one fully wired :class:`~repro.scenario.Deployment`
+(victim bound and in control — the paper's control state), a
+:class:`~repro.attacks.attacker.RemoteAttacker`, a second registered
+account, and the stale-token bookkeeping.  Each symbolic step from
+:mod:`repro.fuzz.steps` becomes the exact wire message that design's
+protocol uses, sent from the acting principal's own network node, so
+ground-truth labelling (attacker traffic originates at attacker nodes)
+keeps working for detector scoring.
+
+Outcomes are *normalized*: no tokens, device IDs or vendor names appear
+in a step outcome, only roles and rejection codes.  That is what makes
+a witness trace comparable across designs (the differential oracle) and
+bit-identical across world seeds (the corpus regression gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.attacker import RemoteAttacker
+from repro.cloud.policy import VendorDesign
+from repro.core.errors import ProtocolError, RequestRejected
+from repro.core.messages import (
+    BindMessage,
+    ControlMessage,
+    LoginRequest,
+    LoginResponse,
+    Message,
+    Origin,
+    ShareRequest,
+    ShareRevoke,
+    UnbindMessage,
+)
+from repro.fuzz.steps import VOCABULARY, craft_block, principal_of
+from repro.obs.observer import Observer
+from repro.scenario import Deployment
+
+#: The second legitimate account (registered on top of the deployment's
+#: victim and attacker accounts) and its internet-side node.
+SECOND_USER = "carol@example.com"
+SECOND_PW = "carol-pw-789"
+SECOND_NODE = "app:second"
+SECOND_IP = "198.51.100.88"
+
+
+@dataclass
+class StepContext:
+    """Raw (non-normalized) facts the oracles need about one step."""
+
+    step: str
+    principal: str
+    acting_user: str
+    owner_before: str
+    owner_after: str
+    authorized_before: bool
+    owner_events_before: int
+    owner_events_after: int
+
+
+@dataclass
+class FuzzReport:
+    """Everything one executed sequence produced."""
+
+    design: str
+    seed: int
+    sequence: List[str]
+    trace: List[Dict[str, Any]]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    divergences: List[Dict[str, Any]] = field(default_factory=list)
+    model_steps: int = 0
+    probe: Optional[Dict[str, Any]] = None
+
+    def findings(self) -> List[Dict[str, Any]]:
+        """Safety violations and model divergences, in step order."""
+        merged = [dict(v, oracle="safety") for v in self.violations]
+        merged.extend(dict(d, oracle="model") for d in self.divergences)
+        merged.sort(key=lambda f: (f.get("step", -1), f["kind"]))
+        return merged
+
+    def finding_keys(self) -> List[Tuple[str, str, str]]:
+        """Deduplication keys: ``(oracle, kind, step name)``."""
+        keys: List[Tuple[str, str, str]] = []
+        for f in self.findings():
+            key = (f["oracle"], f["kind"], f.get("step_name", ""))
+            if key not in keys:
+                keys.append(key)
+        return keys
+
+    def to_data(self) -> Dict[str, Any]:
+        return {
+            "design": self.design,
+            "seed": self.seed,
+            "sequence": list(self.sequence),
+            "trace": [dict(outcome) for outcome in self.trace],
+            "violations": [dict(v) for v in self.violations],
+            "divergences": [dict(d) for d in self.divergences],
+            "model_steps": self.model_steps,
+            "probe": dict(self.probe) if self.probe else None,
+        }
+
+
+class SequenceExecutor:
+    """One world, ready to execute fuzz sequences against one design."""
+
+    def __init__(
+        self,
+        design: VendorDesign,
+        seed: int = 0,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self.design = design
+        self.seed = seed
+        self.deployment = Deployment(design, seed=seed, observer=observer)
+        self.cloud = self.deployment.cloud
+        self.network = self.deployment.network
+        self.device_id = self.deployment.victim.device.device_id
+        # The second legitimate account reaches the cloud from its own
+        # internet host (cellular-style, no LAN of its own).
+        self.cloud.accounts.register(SECOND_USER, SECOND_PW, self.deployment.env.now)
+        self.network.add_internet_node(SECOND_NODE, None, SECOND_IP)
+        self.setup_ok = self.deployment.victim_full_setup()
+        self.attacker = RemoteAttacker(self.deployment)
+        self.attacker.learn_victim_device_id(self.device_id)
+        self.stale_token: Optional[str] = None
+        self.second_token: Optional[str] = None
+        self._roles = {
+            self.deployment.victim.user_id: "owner",
+            self.deployment.attacker_party.user_id: "attacker",
+            SECOND_USER: "second",
+        }
+        self._users = {
+            "owner": self.deployment.victim.user_id,
+            "attacker": self.deployment.attacker_party.user_id,
+            # The stale-token holder is the attacker replaying a leaked
+            # session — same human, same host.
+            "stale": self.deployment.attacker_party.user_id,
+            "second": SECOND_USER,
+            "world": "",
+        }
+
+    # ------------------------------------------------------------------
+    # normalization helpers
+    # ------------------------------------------------------------------
+
+    def owner_role(self) -> str:
+        """Current binding owner as a role name (empty = unbound)."""
+        return self._roles.get(self.cloud.bound_user_of(self.device_id) or "", "")
+
+    def _owner_user(self) -> str:
+        return self.cloud.bound_user_of(self.device_id) or ""
+
+    def _snapshot(self) -> Dict[str, str]:
+        return {
+            "owner": self.owner_role(),
+            "shadow": self.cloud.shadow_state(self.device_id),
+        }
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sequence: Sequence[str]) -> FuzzReport:
+        """Run *sequence* through all three oracles; see :mod:`repro.fuzz.oracles`."""
+        from repro.fuzz.oracles import ModelTracker, SafetyOracle
+
+        tracker = ModelTracker(self.design)
+        safety = SafetyOracle()
+        trace: List[Dict[str, Any]] = []
+        for index, step in enumerate(sequence):
+            outcome, context = self.run_step(index, step)
+            trace.append(outcome)
+            safety.observe(index, outcome, context)
+            tracker.observe(index, outcome)
+        probe = tracker.finish(self)
+        return FuzzReport(
+            design=self.design.name,
+            seed=self.seed,
+            sequence=list(sequence),
+            trace=trace,
+            violations=safety.violations,
+            divergences=tracker.divergences,
+            model_steps=tracker.applied,
+            probe=probe,
+        )
+
+    def run_step(self, index: int, step: str) -> Tuple[Dict[str, Any], StepContext]:
+        """Execute one step; returns (normalized outcome, oracle context)."""
+        if step not in VOCABULARY:
+            raise ValueError(f"unknown fuzz step {step!r}")
+        principal = principal_of(step)
+        acting_user = self._users[principal]
+        owner_before = self._owner_user()
+        events_before = (
+            len(self.cloud.events.all_events(owner_before)) if owner_before else 0
+        )
+        authorized_before = bool(acting_user) and (
+            owner_before == acting_user
+            or self.cloud.shares.is_granted(self.device_id, acting_user)
+        )
+        sent, accepted, code = self._dispatch(index, step)
+        after = self._snapshot()
+        outcome = {
+            "step": step,
+            "sent": sent,
+            "accepted": accepted,
+            "code": code,
+            "owner": after["owner"],
+            "shadow": after["shadow"],
+        }
+        owner_after = self._owner_user()
+        context = StepContext(
+            step=step,
+            principal=principal,
+            acting_user=acting_user,
+            owner_before=owner_before,
+            owner_after=owner_after,
+            authorized_before=authorized_before,
+            owner_events_before=events_before,
+            owner_events_after=(
+                len(self.cloud.events.all_events(owner_before)) if owner_before else 0
+            ),
+        )
+        return outcome, context
+
+    def probe_hijack(self, tag: str = "final") -> Dict[str, Any]:
+        """Does the attacker have a *working* control path right now?
+
+        Mirrors the abstract model's ``attacker_controls``: the cloud
+        must accept the attacker's command *and* the victim's physical
+        device must execute it (a locked-out device never fetches it).
+        """
+        marker = f"hijack-probe-{tag}"
+        try:
+            accepted, _code = self.attacker.control_victim_device(marker)
+        except (RequestRejected, ProtocolError):
+            accepted = False
+        if not accepted:
+            return {"accepted": False, "executed": False}
+        self.deployment.run_heartbeats(2)
+        executed = any(
+            c.command == marker
+            for c in self.deployment.victim.device.executed_commands
+        )
+        return {"accepted": True, "executed": executed}
+
+    # ------------------------------------------------------------------
+    # step dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, index: int, step: str) -> Tuple[bool, bool, str]:
+        """Returns ``(sent, accepted, code)`` for one step."""
+        block = craft_block(self.design, step)
+        if block is not None and principal_of(step) != "owner":
+            return False, False, block
+        handler = getattr(self, "_step_" + step.replace("-", "_"))
+        return handler(index)
+
+    def _wire(self, node: str, message: Message) -> Tuple[bool, bool, str]:
+        try:
+            response = self.network.request(node, self.cloud.node_name, message)
+        except RequestRejected as exc:
+            return True, False, exc.code
+        except ProtocolError:
+            return True, False, "protocol-error"
+        del response
+        return True, True, ""
+
+    # -- world ----------------------------------------------------------
+
+    def _step_advance(self, index: int) -> Tuple[bool, bool, str]:
+        self.deployment.run_heartbeats(1)
+        return True, True, ""
+
+    def _step_advance_long(self, index: int) -> Tuple[bool, bool, str]:
+        design = self.design
+        self.deployment.run(design.offline_timeout + design.heartbeat_interval + 0.5)
+        return True, True, ""
+
+    # -- owner ----------------------------------------------------------
+
+    @property
+    def _owner_app(self):
+        return self.deployment.victim.app
+
+    def _step_owner_login(self, index: int) -> Tuple[bool, bool, str]:
+        try:
+            self._owner_app.login()
+        except RequestRejected as exc:
+            return True, False, exc.code
+        return True, True, ""
+
+    def _step_owner_logout(self, index: int) -> Tuple[bool, bool, str]:
+        token = self._owner_app.user_token
+        if token is None:
+            return False, False, "not-logged-in"
+        revoked = self.cloud.accounts.logout(token)
+        # The attacker captured this session earlier; it is stale now.
+        self.stale_token = token
+        self._owner_app.user_token = None
+        return True, revoked, "" if revoked else "already-invalid"
+
+    def _step_owner_bind(self, index: int) -> Tuple[bool, bool, str]:
+        app = self._owner_app
+        if app.user_token is None:
+            return False, False, "not-logged-in"
+        device = self.deployment.victim.device
+        if self.design.ip_match_required:
+            device.press_button()
+        try:
+            bound = app.bind_device(device)
+        except (RequestRejected, ProtocolError) as exc:
+            code = exc.code if isinstance(exc, RequestRejected) else "protocol-error"
+            return True, False, code
+        return True, bound, "" if bound else "rejected"
+
+    def _step_owner_unbind(self, index: int) -> Tuple[bool, bool, str]:
+        token = self._owner_app.user_token
+        if token is None:
+            return False, False, "not-logged-in"
+        return self._wire(
+            self._owner_app.node_name,
+            UnbindMessage(device_id=self.device_id, user_token=token),
+        )
+
+    def _step_owner_control(self, index: int) -> Tuple[bool, bool, str]:
+        if self._owner_app.user_token is None:
+            return False, False, "not-logged-in"
+        try:
+            self._owner_app.control(self.device_id, f"owner-cmd-{index}")
+        except RequestRejected as exc:
+            return True, False, exc.code
+        except ProtocolError:
+            return True, False, "protocol-error"
+        return True, True, ""
+
+    def _step_owner_share(self, index: int) -> Tuple[bool, bool, str]:
+        token = self._owner_app.user_token
+        if token is None:
+            return False, False, "not-logged-in"
+        return self._wire(
+            self._owner_app.node_name,
+            ShareRequest(user_token=token, device_id=self.device_id,
+                         grantee=SECOND_USER),
+        )
+
+    def _step_owner_share_revoke(self, index: int) -> Tuple[bool, bool, str]:
+        token = self._owner_app.user_token
+        if token is None:
+            return False, False, "not-logged-in"
+        return self._wire(
+            self._owner_app.node_name,
+            ShareRevoke(user_token=token, device_id=self.device_id,
+                        grantee=SECOND_USER),
+        )
+
+    # -- attacker --------------------------------------------------------
+
+    def _step_attacker_login(self, index: int) -> Tuple[bool, bool, str]:
+        try:
+            self.attacker.login()
+        except RequestRejected as exc:
+            return True, False, exc.code
+        return True, True, ""
+
+    def _attacker_send(self, message: Message) -> Tuple[bool, bool, str]:
+        accepted, code, response = self.attacker.send(message)
+        self.attacker.note_bind_response(response)
+        return True, accepted, "" if accepted else code
+
+    def _step_attacker_bind(self, index: int) -> Tuple[bool, bool, str]:
+        return self._attacker_send(self.attacker.forge_bind())
+
+    def _step_attacker_unbind1(self, index: int) -> Tuple[bool, bool, str]:
+        return self._attacker_send(self.attacker.forge_unbind_type1())
+
+    def _step_attacker_unbind2(self, index: int) -> Tuple[bool, bool, str]:
+        return self._attacker_send(self.attacker.forge_unbind_type2())
+
+    def _step_attacker_status(self, index: int) -> Tuple[bool, bool, str]:
+        return self._attacker_send(self.attacker.forge_status())
+
+    def _step_attacker_fetch(self, index: int) -> Tuple[bool, bool, str]:
+        return self._attacker_send(self.attacker.forge_fetch())
+
+    def _step_attacker_control(self, index: int) -> Tuple[bool, bool, str]:
+        try:
+            accepted, code = self.attacker.control_victim_device(
+                f"attacker-cmd-{index}"
+            )
+        except RequestRejected as exc:
+            return True, False, exc.code
+        return True, accepted, "" if accepted else code
+
+    # -- stale-token holder ---------------------------------------------
+
+    def _stale_send(self, message: Message) -> Tuple[bool, bool, str]:
+        if self.stale_token is None:
+            return False, False, "no-stale-token"
+        return self._wire(self.attacker.node, message)
+
+    def _step_stale_bind(self, index: int) -> Tuple[bool, bool, str]:
+        if self.stale_token is None:
+            return False, False, "no-stale-token"
+        return self._stale_send(
+            BindMessage(device_id=self.device_id, user_token=self.stale_token)
+        )
+
+    def _step_stale_unbind(self, index: int) -> Tuple[bool, bool, str]:
+        return self._stale_send(
+            UnbindMessage(device_id=self.device_id, user_token=self.stale_token)
+        )
+
+    def _step_stale_control(self, index: int) -> Tuple[bool, bool, str]:
+        return self._stale_send(
+            ControlMessage(
+                user_token=self.stale_token or "",
+                device_id=self.device_id,
+                command=f"stale-cmd-{index}",
+            )
+        )
+
+    # -- second legitimate user -------------------------------------------
+
+    def _step_second_login(self, index: int) -> Tuple[bool, bool, str]:
+        try:
+            response = self.network.request(
+                SECOND_NODE, self.cloud.node_name,
+                LoginRequest(SECOND_USER, SECOND_PW),
+            )
+        except RequestRejected as exc:
+            return True, False, exc.code
+        if isinstance(response, LoginResponse):
+            self.second_token = response.user_token
+        return True, True, ""
+
+    def _step_second_bind(self, index: int) -> Tuple[bool, bool, str]:
+        from repro.cloud.policy import BindSender
+
+        if self.design.bind_sender is BindSender.DEVICE:
+            # Household member types her credentials into the device.
+            message = BindMessage(
+                device_id=self.device_id,
+                user_id=SECOND_USER,
+                user_pw=SECOND_PW,
+                origin=Origin.DEVICE,
+            )
+        else:
+            if self.second_token is None:
+                return False, False, "not-logged-in"
+            message = BindMessage(
+                device_id=self.device_id, user_token=self.second_token
+            )
+        return self._wire(SECOND_NODE, message)
+
+    def _step_second_unbind(self, index: int) -> Tuple[bool, bool, str]:
+        if self.second_token is None:
+            return False, False, "not-logged-in"
+        return self._wire(
+            SECOND_NODE,
+            UnbindMessage(device_id=self.device_id, user_token=self.second_token),
+        )
+
+    def _step_second_control(self, index: int) -> Tuple[bool, bool, str]:
+        if self.second_token is None:
+            return False, False, "not-logged-in"
+        return self._wire(
+            SECOND_NODE,
+            ControlMessage(
+                user_token=self.second_token,
+                device_id=self.device_id,
+                command=f"second-cmd-{index}",
+            ),
+        )
+
+
+def execute_sequence(
+    design: VendorDesign,
+    sequence: Sequence[str],
+    seed: int = 0,
+    observer: Optional[Observer] = None,
+) -> FuzzReport:
+    """Build a fresh world and run *sequence* — the one-call entry point."""
+    return SequenceExecutor(design, seed=seed, observer=observer).execute(sequence)

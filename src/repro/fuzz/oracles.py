@@ -1,0 +1,309 @@
+"""The fuzzer's three oracles.
+
+(a) **Model conformance** (:class:`ModelTracker`) — while a sequence
+    stays inside the Figure-2 abstraction's vocabulary (attacker moves
+    plus neutral steps), the concrete cloud must agree with
+    :func:`repro.analysis.protocol_model._apply` about which moves are
+    accepted and who owns the binding afterwards, and at the end about
+    whether the attacker's control path actually works.
+
+(b) **Cross-design differential** (:func:`equivalence_fingerprint`,
+    :func:`differential_divergence`) — two designs whose compiled
+    :class:`~repro.cloud.pdp.spec.PolicySpec` and behaviour knobs are
+    identical must produce identical normalized traces for every
+    sequence; a difference means an enforcement point consulted
+    something the policy layer does not declare.
+
+(c) **Safety invariants** (:class:`SafetyOracle`) — properties that must
+    hold on *every* design, weak or not, because violating them is the
+    paper's attack surface itself: no stale session may act, no control
+    without a binding or share, no device-protocol forgery accepted,
+    and no binding may change hands silently.
+
+Known abstraction gaps are encoded here rather than papered over: the
+model's ``forge-status`` returns ``None`` to mean "no security-relevant
+effect" (not wire rejection), so only owner-invariance is compared for
+that move; and the model only describes revoking the *victim's*
+binding, so the tracker retires once the abstract owner is the
+attacker and an unbind move arrives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.protocol_model import (
+    ATTACKER,
+    NOBODY,
+    VICTIM,
+    AbstractState,
+    _apply,
+    _attacker_moves,
+)
+from repro.cloud.pdp.spec import PolicySpec
+from repro.cloud.policy import VendorDesign
+from repro.fuzz.steps import (
+    CONTROL_STEPS,
+    DEVICE_PROTOCOL_STEPS,
+    MODEL_MOVES,
+    MODEL_NEUTRAL,
+)
+
+#: Abstract owner -> normalized trace role.
+_OWNER_ROLE = {VICTIM: "owner", ATTACKER: "attacker", NOBODY: ""}
+
+
+# ---------------------------------------------------------------------------
+# (c) safety invariants
+# ---------------------------------------------------------------------------
+
+
+class SafetyOracle:
+    """Design-independent invariants, checked after every step."""
+
+    def __init__(self) -> None:
+        self.violations: List[Dict[str, Any]] = []
+
+    def _record(self, kind: str, index: int, outcome: Dict[str, Any],
+                detail: str) -> None:
+        self.violations.append({
+            "kind": kind,
+            "step": index,
+            "step_name": outcome["step"],
+            "code": outcome["code"],
+            "detail": detail,
+        })
+
+    def observe(self, index: int, outcome: Dict[str, Any], context) -> None:
+        """Check all four invariants against one executed step."""
+        step = outcome["step"]
+        accepted = outcome["sent"] and outcome["accepted"]
+        if accepted and context.principal == "stale":
+            self._record(
+                "stale-token-accepted", index, outcome,
+                "a request authenticated by a logged-out session token "
+                "was accepted (Section V-B: tokens must die at logout)",
+            )
+        if accepted and step in CONTROL_STEPS and not context.authorized_before:
+            self._record(
+                "control-without-binding", index, outcome,
+                f"{context.principal} was neither the bound user nor a "
+                "sharee when the cloud accepted its command",
+            )
+        if accepted and step in DEVICE_PROTOCOL_STEPS:
+            self._record(
+                "forged-device-accepted", index, outcome,
+                "a device-protocol message from the attacker's own host "
+                "passed device authentication (Figure 3 forgery)",
+            )
+        if (
+            context.owner_before
+            and context.owner_after != context.owner_before
+            and context.acting_user != context.owner_before
+            and context.owner_events_after <= context.owner_events_before
+        ):
+            self._record(
+                "silent-ownership-transfer", index, outcome,
+                "the binding left its owner through someone else's "
+                "request and the owner was never notified",
+            )
+
+
+# ---------------------------------------------------------------------------
+# (a) Figure-2 model conformance
+# ---------------------------------------------------------------------------
+
+
+class ModelTracker:
+    """Lock-step comparison with the abstract protocol model.
+
+    Active only while every executed step is one of the model's moves
+    (or neutral); the first out-of-vocabulary step, recorded
+    divergence, or out-of-abstraction situation retires the tracker —
+    the model makes no claims beyond that point.
+    """
+
+    def __init__(self, design: VendorDesign) -> None:
+        self.design = design
+        self.state = AbstractState()
+        self.moves = _attacker_moves(design)
+        self.active = True
+        self.applied = 0
+        self.divergences: List[Dict[str, Any]] = []
+
+    def _record(self, kind: str, index: int, step: str, detail: str) -> None:
+        self.divergences.append({
+            "kind": kind,
+            "step": index,
+            "step_name": step,
+            "detail": detail,
+        })
+        self.active = False
+
+    def observe(self, index: int, outcome: Dict[str, Any]) -> None:
+        """Advance the abstract state and compare it with one outcome."""
+        if not self.active:
+            return
+        step = outcome["step"]
+        if step in MODEL_NEUTRAL:
+            return
+        move = MODEL_MOVES.get(step)
+        if move is None:
+            self.active = False  # sequence left the model's vocabulary
+            return
+        if move.startswith("unbind") and self.state.owner == ATTACKER:
+            # The abstraction only describes revoking the victim's
+            # binding; an attacker revoking their own is out of scope.
+            self.active = False
+            return
+        craftable = move in self.moves
+        if not outcome["sent"]:
+            if craftable:
+                self._record(
+                    "craftability", index, step,
+                    f"the model says {move!r} is forgeable against "
+                    f"{self.design.name} but the executor could not "
+                    f"craft it ({outcome['code']})",
+                )
+            return
+        predicted = _apply(self.design, self.state, move) if craftable else None
+        if predicted is not None:
+            self.state = predicted
+        self.applied += 1
+        expected_owner = _OWNER_ROLE[self.state.owner]
+        if outcome["owner"] != expected_owner:
+            self._record(
+                "owner-state", index, step,
+                f"after {move!r} the model predicts owner "
+                f"{expected_owner or 'nobody'!r} but the cloud reports "
+                f"{outcome['owner'] or 'nobody'!r}",
+            )
+            return
+        if move != "forge-status" and (predicted is not None) != outcome["accepted"]:
+            self._record(
+                "acceptance", index, step,
+                f"the model predicts {move!r} is "
+                f"{'accepted' if predicted is not None else 'rejected'} "
+                f"but the cloud "
+                f"{'accepted' if outcome['accepted'] else 'rejected'} it "
+                f"(code {outcome['code']!r})",
+            )
+
+    def finish(self, executor) -> Optional[Dict[str, Any]]:
+        """End-of-sequence hijack probe vs ``attacker_controls``."""
+        if not self.active or self.applied == 0:
+            return None
+        probe = executor.probe_hijack()
+        if probe["executed"] != self.state.attacker_controls:
+            self._record(
+                "hijack-reachability", len(executor.deployment.victim.device
+                                           .executed_commands), "(probe)",
+                f"the model says attacker_controls="
+                f"{self.state.attacker_controls} but a concrete command "
+                f"{'executed' if probe['executed'] else 'did not execute'} "
+                "on the victim's device",
+            )
+        return probe
+
+
+# ---------------------------------------------------------------------------
+# (b) cross-design differential
+# ---------------------------------------------------------------------------
+
+#: Behaviour knobs the enforcement points consult *outside* the compiled
+#: PolicySpec rules; two designs are claimed equivalent only when both
+#: the spec and these agree.
+_BEHAVIOUR_KNOBS = (
+    "device_type",
+    "firmware_available",
+    "status_yields_user_data",
+    "notifies_user",
+    "single_connection_per_device",
+    "post_binding_token",
+    "heartbeat_interval",
+    "offline_timeout",
+    "bind_window_seconds",
+)
+
+
+def equivalence_fingerprint(design: VendorDesign) -> str:
+    """sha256 identity of everything that may influence a fuzz trace.
+
+    Identity knobs (name, ID scheme/OUI/serial shape, label printing,
+    analyst knowledge) are deliberately excluded: they change device-ID
+    strings, which normalized traces never contain.
+    """
+    spec = PolicySpec.from_design(design).to_data()
+    spec.pop("name", None)
+    body = {
+        "spec": spec,
+        "behaviour": {
+            knob: getattr(design, knob) for knob in _BEHAVIOUR_KNOBS
+        },
+        "device_auth": design.device_auth.value,
+        "bind_schema": design.bind_schema.value,
+        "bind_sender": design.bind_sender.value,
+    }
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def differential_groups(
+    designs: Sequence[VendorDesign],
+) -> List[List[VendorDesign]]:
+    """Designs partitioned by fingerprint; only groups of two or more."""
+    by_print: Dict[str, List[VendorDesign]] = {}
+    for design in designs:
+        by_print.setdefault(equivalence_fingerprint(design), []).append(design)
+    return [group for group in by_print.values() if len(group) > 1]
+
+
+def differential_divergence(
+    group: Sequence[VendorDesign],
+    sequence: Sequence[str],
+    seed: int = 0,
+) -> Optional[Dict[str, Any]]:
+    """Run *sequence* on every design in an equivalence *group*.
+
+    Returns ``None`` when all normalized traces agree, else a finding
+    naming the two designs and the first differing step.
+    """
+    from repro.fuzz.executor import execute_sequence
+
+    baseline = None
+    baseline_design = None
+    for design in group:
+        report = execute_sequence(design, sequence, seed=seed)
+        trace = report.trace
+        if baseline is None:
+            baseline, baseline_design = trace, design.name
+            continue
+        if trace == baseline:
+            continue
+        for index, (left, right) in enumerate(zip(baseline, trace)):
+            if left != right:
+                return {
+                    "kind": "differential",
+                    "step": index,
+                    "step_name": sequence[index],
+                    "designs": [baseline_design, design.name],
+                    "left": left,
+                    "right": right,
+                    "detail": (
+                        f"{baseline_design} and {design.name} compile to "
+                        "the same PolicySpec and behaviour knobs but "
+                        f"diverge at step {index} ({sequence[index]})"
+                    ),
+                }
+        return {  # pragma: no cover - traces are same-length by construction
+            "kind": "differential",
+            "step": len(baseline),
+            "step_name": "",
+            "designs": [baseline_design, design.name],
+            "left": None,
+            "right": None,
+            "detail": "trace length mismatch",
+        }
+    return None

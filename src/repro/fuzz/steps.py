@@ -1,0 +1,120 @@
+"""The fuzzer's step vocabulary: abstract, design-independent protocol moves.
+
+A fuzz *sequence* is a list of step names.  Each step names one move by
+one principal — the four principals of the remote-binding threat model
+plus the world itself:
+
+* ``owner``    — the victim (Alice): the legitimate bound user,
+* ``attacker`` — a remote stranger (Mallory) with a valid account of the
+  same vendor who knows the victim's device ID (Section III-A),
+* ``stale``    — the stale-token holder: Mallory replaying a session
+  token the owner already logged out of,
+* ``second``   — a second legitimate account (Carol), e.g. a household
+  member the owner may or may not have shared the device with,
+* ``advance``  — virtual time passing (heartbeats, liveness sweeps).
+
+Steps are symbolic so the same sequence replays against any of the 13
+designs: the executor (:mod:`repro.fuzz.executor`) translates each step
+into the concrete wire message shapes that design uses, exactly as the
+attack battery does.  Device-protocol steps are craft-gated by the
+paper's capability asymmetry (firmware knowledge), mirroring
+:func:`repro.analysis.protocol_model._attacker_moves`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cloud.policy import BindSchema, BindSender, VendorDesign
+
+#: Every step the strategies may emit, in shrink order (hypothesis
+#: shrinks ``sampled_from`` toward earlier entries, so the neutral
+#: world steps come first).
+VOCABULARY: Tuple[str, ...] = (
+    # world
+    "advance",
+    "advance-long",
+    # owner (victim)
+    "owner-login",
+    "owner-logout",
+    "owner-bind",
+    "owner-unbind",
+    "owner-control",
+    "owner-share",
+    "owner-share-revoke",
+    # second legitimate user
+    "second-login",
+    "second-bind",
+    "second-unbind",
+    "second-control",
+    # stale-token holder
+    "stale-bind",
+    "stale-unbind",
+    "stale-control",
+    # remote attacker
+    "attacker-login",
+    "attacker-bind",
+    "attacker-unbind1",
+    "attacker-unbind2",
+    "attacker-status",
+    "attacker-fetch",
+    "attacker-control",
+)
+
+#: Steps the Figure-2 model checker has a move for
+#: (:func:`repro.analysis.protocol_model._apply`).
+MODEL_MOVES = {
+    "attacker-bind": "bind",
+    "attacker-unbind1": "unbind-type1",
+    "attacker-unbind2": "unbind-type2",
+    "attacker-status": "forge-status",
+}
+
+#: Steps that neither the model checker tracks nor perturb the facts it
+#: abstracts (ownership, liveness): time passing and logins.
+MODEL_NEUTRAL = frozenset({"advance", "advance-long", "attacker-login"})
+
+#: Device-protocol steps: accepting one from a non-device host is a
+#: forgery the vendor's device authentication failed to stop.
+DEVICE_PROTOCOL_STEPS = frozenset(
+    {"attacker-status", "attacker-fetch", "attacker-unbind2"}
+)
+
+#: Steps that ask the cloud to relay a command (the control invariant).
+CONTROL_STEPS = frozenset(
+    {"owner-control", "second-control", "stale-control", "attacker-control"}
+)
+
+
+def principal_of(step: str) -> str:
+    """The acting principal (``owner``/``attacker``/``stale``/``second``/``world``)."""
+    for prefix in ("owner", "attacker", "stale", "second"):
+        if step.startswith(prefix + "-"):
+            return prefix
+    return "world"
+
+
+def craft_block(design: VendorDesign, step: str) -> Optional[str]:
+    """Why *step* cannot even be crafted against *design*, or ``None``.
+
+    Encodes the paper's forgery asymmetry: app-protocol messages are
+    always craftable (MITM of the attacker's own phone), device-protocol
+    messages need firmware-derived knowledge, and capability bindings
+    cannot be forged remotely at all (the BindToken must travel through
+    the physical device).
+    """
+    if step in DEVICE_PROTOCOL_STEPS and not design.firmware_available:
+        return "no-device-protocol-knowledge"
+    if step in ("attacker-bind", "stale-bind", "second-bind"):
+        if design.bind_schema is BindSchema.CAPABILITY:
+            return "capability-binding-not-forgeable"
+        if step == "attacker-bind" and (
+            design.bind_sender is BindSender.DEVICE
+            and not design.firmware_available
+        ):
+            return "no-device-protocol-knowledge"
+        if step == "stale-bind" and design.bind_sender is BindSender.DEVICE:
+            # The stale holder replays captured *app* traffic; there is
+            # no app-submitted Bind on device-initiated designs.
+            return "no-app-bind-on-this-design"
+    return None

@@ -1,0 +1,48 @@
+"""Hypothesis strategies over the fuzz step vocabulary.
+
+The import of :mod:`hypothesis` is deferred and gated: the fuzz
+*executor* and *corpus replay* must work without hypothesis installed
+(CI's replay gate only needs deterministic re-execution), while
+generation (:func:`sequence_strategy`) is what needs the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.fuzz.steps import VOCABULARY
+
+
+def require_hypothesis():
+    """Import hypothesis or explain how to get it."""
+    try:
+        import hypothesis  # noqa: F401 - presence probe
+    except ImportError:  # pragma: no cover - test env always has it
+        raise ConfigurationError(
+            "sequence generation needs the 'hypothesis' package; "
+            "install the test extra: pip install -e .[test]"
+        ) from None
+    return hypothesis
+
+
+def sequence_strategy(
+    max_size: int = 12,
+    min_size: int = 1,
+    vocabulary: Optional[Sequence[str]] = None,
+):
+    """Lists of step names, shrink-ordered per :data:`VOCABULARY`.
+
+    ``sampled_from`` shrinks toward earlier vocabulary entries and
+    ``lists`` toward shorter sequences, so a minimal counterexample is
+    the shortest sequence of the most boring steps that still trips an
+    oracle — exactly what a witness should look like.
+    """
+    require_hypothesis()
+    from hypothesis import strategies as st
+
+    steps: List[str] = list(vocabulary if vocabulary is not None else VOCABULARY)
+    unknown = [s for s in steps if s not in VOCABULARY]
+    if unknown:
+        raise ConfigurationError(f"unknown fuzz step(s): {unknown}")
+    return st.lists(st.sampled_from(steps), min_size=min_size, max_size=max_size)

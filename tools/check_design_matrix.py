@@ -8,6 +8,12 @@ outcomes and the condensed Table III cells against the pinned fixture
 succeeding, stops succeeding, or changes its reported cell — fails the
 build; the authorization refactor must never move a matrix cell.
 
+The gate also replays every fuzz-corpus witness sequence over all 13
+designs and compares the oracle finding keys against
+``tools/fuzz_matrix_fixture.json`` — so a policy regression anywhere in
+the matrix that fuzzing has *ever* caught (not only on the design the
+witness was minimized on) fails the build too.
+
 Usage:
     PYTHONPATH=src python tools/check_design_matrix.py            # gate
     PYTHONPATH=src python tools/check_design_matrix.py --update   # re-pin
@@ -26,10 +32,14 @@ sys.path.insert(
 
 from repro.analysis.evaluator import VendorEvaluation  # noqa: E402
 from repro.attacks.runner import run_all_attacks  # noqa: E402
+from repro.fuzz.corpus import replay_matrix  # noqa: E402
 from repro.secure.designs import SECURE_BASELINES  # noqa: E402
 from repro.vendors.profiles import STUDIED_VENDORS  # noqa: E402
 
-FIXTURE = pathlib.Path(__file__).resolve().parent / "design_matrix_fixture.json"
+TOOLS = pathlib.Path(__file__).resolve().parent
+FIXTURE = TOOLS / "design_matrix_fixture.json"
+FUZZ_FIXTURE = TOOLS / "fuzz_matrix_fixture.json"
+CORPUS = TOOLS.parent / "tests" / "fixtures" / "fuzz_corpus"
 
 #: Battery seed pinned into the fixture (outcomes must be seed-stable,
 #: but the gate replays the exact recorded configuration).
@@ -50,6 +60,11 @@ def compute_matrix(seed: int = SEED) -> dict:
             },
         }
     return {"seed": seed, "designs": designs}
+
+
+def compute_fuzz_matrix(seed: int = SEED) -> dict:
+    """Every corpus witness sequence replayed over all 13 designs."""
+    return {"seed": seed, "witnesses": replay_matrix(CORPUS, seed=seed)}
 
 
 def check(path: pathlib.Path) -> int:
@@ -93,23 +108,73 @@ def check(path: pathlib.Path) -> int:
     return 0
 
 
-def update(path: pathlib.Path) -> int:
+def check_fuzz(path: pathlib.Path) -> int:
+    try:
+        pinned = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"FAIL: {path} missing — run with --update to pin the fixture")
+        return 1
+    computed = compute_fuzz_matrix(pinned.get("seed", SEED))
+
+    failures = []
+    pinned_rows = pinned.get("witnesses", {})
+    computed_rows = computed["witnesses"]
+    for name in sorted(set(pinned_rows) | set(computed_rows)):
+        want = pinned_rows.get(name)
+        got = computed_rows.get(name)
+        if want is None:
+            failures.append(f"{name}: new witness not pinned (--update)")
+            continue
+        if got is None:
+            failures.append(f"{name}: witness missing from the corpus")
+            continue
+        drift = []
+        for design in sorted(set(want) | set(got)):
+            if want.get(design) != got.get(design):
+                drift.append(
+                    f"{design}: {want.get(design)!r} -> {got.get(design)!r}"
+                )
+        if drift:
+            failures.append(f"{name}: " + "; ".join(drift))
+            print(f"  FAIL {name}: " + "; ".join(drift))
+        else:
+            print(f"  ok   {name}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} fuzz-matrix row(s) drifted:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"\nfuzz-matrix gate: all {len(pinned_rows)} witness rows match the fixture"
+    )
+    return 0
+
+
+def update(path: pathlib.Path, fuzz_path: pathlib.Path) -> int:
     matrix = compute_matrix()
     path.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     print(f"pinned {len(matrix['designs'])} designs to {path}")
+    fuzz = compute_fuzz_matrix()
+    fuzz_path.write_text(json.dumps(fuzz, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+    print(f"pinned {len(fuzz['witnesses'])} witness rows to {fuzz_path}")
     return 0
 
 
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fixture", nargs="?", type=pathlib.Path, default=FIXTURE)
+    parser.add_argument("--fuzz-fixture", type=pathlib.Path,
+                        default=FUZZ_FIXTURE)
     parser.add_argument("--update", action="store_true",
-                        help="re-pin the fixture from the current tree")
+                        help="re-pin the fixtures from the current tree")
     options = parser.parse_args(argv)
     if options.update:
-        return update(options.fixture)
-    return check(options.fixture)
+        return update(options.fixture, options.fuzz_fixture)
+    status = check(options.fixture)
+    return status or check_fuzz(options.fuzz_fixture)
 
 
 if __name__ == "__main__":
