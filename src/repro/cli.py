@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep               # design-space sweep
     python -m repro secure              # attack the recommended designs
     python -m repro obs                 # traced fleet campaign run report
+    python -m repro slo                 # SLO report: burn rates, latency
+    python -m repro slo --chaos cloud-brownout   # score an outage window
     python -m repro campaign --workers 4 --households 400
     python -m repro campaign --workers 4 --pool --repeat 3   # warm-started
     python -m repro campaign --households 8 --chaos lossy-lan
@@ -195,6 +197,74 @@ def _cmd_obs(args: argparse.Namespace) -> str:
             f"({len(audit)} audit entries)"
         )
     return text
+
+
+def _cmd_slo(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.fleet import FleetDeployment
+    from repro.obs import Observability
+    from repro.obs.export import render_red
+    from repro.obs.slo import SLOSpec, evaluate_slo
+    from repro.vendors import vendor
+
+    design = vendor(args.vendor)
+    obs = Observability(trace_messages=False)
+    fleet = FleetDeployment(
+        design, households=args.households, seed=args.seed, observer=obs
+    )
+    plan = None
+    if args.chaos is not None:
+        from repro.chaos import ChaosSpec, apply_chaos
+        from repro.chaos.faults import plan_from_name, plan_names
+
+        if args.chaos not in plan_names():
+            from repro.core.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown fault plan {args.chaos!r}; see 'repro chaos list'"
+            )
+        apply_chaos(fleet, ChaosSpec(
+            plan=args.chaos,
+            intensity=args.intensity,
+            resilience=not args.no_resilience,
+        ))
+        plan = plan_from_name(args.chaos, args.intensity)
+    fleet.setup_all()
+    fleet.run(args.seconds)
+    spec = SLOSpec(objective=args.objective, latency_us=args.latency_us)
+    report = evaluate_slo(
+        obs.slo, spec,
+        sketch=obs.red.combined_sketch(design.name),
+        plan=plan,
+    )
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["vendor"] = design.name
+        payload["households"] = args.households
+        payload["seconds"] = args.seconds
+        payload["chaos"] = (
+            {"plan": args.chaos, "intensity": args.intensity}
+            if args.chaos is not None else None
+        )
+        payload["red"] = {
+            "requests": obs.red.snapshot(),
+            "pdp": obs.pdp_red.snapshot(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    header = (
+        f"slo run: vendor={design.name} households={args.households} "
+        f"seconds={args.seconds:g}"
+        + (f" chaos={args.chaos} intensity={args.intensity:g}"
+           if args.chaos is not None else " (calm)")
+    )
+    return "\n".join([
+        header,
+        report.render(),
+        "",
+        "== RED (rate / errors / duration) ==",
+        render_red(obs),
+    ])
 
 
 def _cmd_campaign(args: argparse.Namespace) -> str:
@@ -687,6 +757,30 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--no-messages", action="store_true",
                      help="skip per-request exchange spans (aggregates only)")
     obs.set_defaults(run=_cmd_obs)
+
+    slo = sub.add_parser(
+        "slo",
+        help="score one fleet run against a latency/availability SLO "
+             "(RED series, burn rates, chaos breach verdicts)",
+    )
+    slo.add_argument("--vendor", default="OZWI")
+    slo.add_argument("--households", type=int, default=10)
+    slo.add_argument("--seconds", type=float, default=120.0,
+                     help="virtual seconds of steady-state traffic to score")
+    slo.add_argument("--chaos", default=None, metavar="PLAN",
+                     help="score under a named fault plan "
+                          "(see 'repro chaos list')")
+    slo.add_argument("--intensity", type=float, default=1.0,
+                     help="fault-plan intensity scale (0 = inert)")
+    slo.add_argument("--no-resilience", action="store_true",
+                     help="leave devices/apps without retry/backoff "
+                          "clients under chaos")
+    slo.add_argument("--objective", type=float, default=0.999,
+                     help="availability objective (fraction served)")
+    slo.add_argument("--latency-us", type=float, default=1000.0,
+                     help="per-request wall-latency compliance threshold")
+    slo.add_argument("--format", choices=["text", "json"], default="text")
+    slo.set_defaults(run=_cmd_slo)
 
     campaign = sub.add_parser(
         "campaign", help="sharded parallel fleet campaign across worker processes"

@@ -10,6 +10,7 @@ transitions).
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Dict, Optional
 
 from repro.cloud.accounts import AccountStore
@@ -64,6 +65,25 @@ _FORENSIC_KINDS = {
     BindMessage: "bind",
     UnbindMessage: "unbind",
     ControlMessage: "control",
+    DeviceFetch: "fetch",
+}
+
+#: Message type -> PDP action name, the RED accounting key (matches
+#: :data:`repro.cloud.pdp.model.ACTIONS`); used only on observed runs.
+_ENDPOINT_ACTIONS = {
+    LoginRequest: "login",
+    DevTokenRequest: "dev-token",
+    BindTokenRequest: "bind-token",
+    StatusMessage: "status",
+    BindMessage: "bind",
+    UnbindMessage: "unbind",
+    ControlMessage: "control",
+    ScheduleUpdate: "schedule",
+    QueryRequest: "query",
+    BindingInfoRequest: "binding-info",
+    EventPollRequest: "event-poll",
+    ShareRequest: "share",
+    ShareRevoke: "share-revoke",
     DeviceFetch: "fetch",
 }
 
@@ -401,11 +421,40 @@ class CloudService:
         before/after states are both visible.
         """
         # NULL_OBSERVER fast path: skip the profile() context-manager
-        # allocation entirely (precomputed boolean, not a no-op call).
+        # allocation — and all RED timing below — entirely (precomputed
+        # boolean, not a no-op call).
         if self._observed:
             with self._observer.profile("cloud.handle_packet"):
-                return self._handle_and_record(packet)
+                return self._handle_observed(packet)
         return self._handle_and_record(packet)
+
+    def _handle_observed(self, packet: Packet) -> Message:
+        """Observed-path dispatch: RED-time the request around handling.
+
+        Rejections are requests the cloud *served* (denying an attacker
+        is correct behaviour): they are RED errors keyed by rejection
+        code, not availability failures, so the exception re-raises
+        after recording.
+        """
+        action = _ENDPOINT_ACTIONS.get(type(packet.message))
+        if action is None:
+            return self._handle_and_record(packet)
+        trace = packet.trace
+        trace_id = trace.trace_id if trace is not None else ""
+        design = self.design.name
+        started = perf_counter_ns()
+        try:
+            response = self._handle_and_record(packet)
+        except RequestRejected as exc:
+            self._observer.on_request(
+                design, action, exc.code,
+                perf_counter_ns() - started, trace_id, self.now,
+            )
+            raise
+        self._observer.on_request(
+            design, action, "ok", perf_counter_ns() - started, trace_id, self.now
+        )
+        return response
 
     def _handle_and_record(self, packet: Packet) -> Message:
         """Dispatch one packet, auditing and (when watched) evidencing it."""

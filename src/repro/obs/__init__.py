@@ -1,6 +1,7 @@
-"""Fleet-scale observability: tracing, metrics and profiling hooks.
+"""Fleet-scale observability: tracing, metrics, profiling, SLO hooks.
 
-The subsystem has four small parts (see ``docs/observability.md``):
+The subsystem has five small parts (see ``docs/observability.md`` and
+``docs/slo.md``):
 
 * :mod:`repro.obs.observer` — the :class:`Observer` seam every layer is
   instrumented against, with a shared no-op :data:`NULL_OBSERVER`;
@@ -9,9 +10,12 @@ The subsystem has four small parts (see ``docs/observability.md``):
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
   gauges and histograms;
 * :mod:`repro.obs.profiler` — wall-clock :class:`Profiler` for the hot
-  paths.
+  paths;
+* :mod:`repro.obs.slo` — SLO-grade request accounting: RED series with
+  mergeable :class:`LatencySketch` quantiles and exemplars, the
+  deterministic availability series, burn-rate/breach evaluation.
 
-:class:`Observability` (:mod:`repro.obs.runtime`) bundles all three and
+:class:`Observability` (:mod:`repro.obs.runtime`) bundles them all and
 is what callers actually pass around::
 
     from repro.obs import Observability
@@ -26,24 +30,37 @@ is what callers actually pass around::
     assert obs.matches_audit(fleet.cloud.audit)
 """
 
-from repro.obs.export import render_report, snapshot, to_json
+from repro.obs.export import render_red, render_report, snapshot, to_json
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.profiler import Profiler
 from repro.obs.runtime import Observability
+from repro.obs.slo import (
+    LatencySketch,
+    RedAccounting,
+    SLOSpec,
+    SLOTracker,
+    evaluate_slo,
+)
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencySketch",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observability",
     "Observer",
     "Profiler",
+    "RedAccounting",
+    "SLOSpec",
+    "SLOTracker",
     "Span",
     "Tracer",
+    "evaluate_slo",
+    "render_red",
     "render_report",
     "snapshot",
     "to_json",

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import Observability
+from repro.obs.slo import RedAccounting, SLOTracker
 
 #: Schema version stamped into every JSON snapshot.
 SNAPSHOT_VERSION = 2
@@ -89,9 +90,17 @@ def snapshot(
         "spans_dropped": obs.tracer.dropped,
         "export_spans_dropped": export_dropped,
         "metrics": obs.metrics.snapshot(),
+        # Deterministic: virtual-time bins over seeded-RNG fault events.
+        "slo": obs.slo.snapshot(),
     }
     if include_wall:
         data["profile"] = obs.profiler.snapshot()
+        # Wall-clock latency sketches are nondeterministic by nature, so
+        # they live strictly on the include_wall side of the split.
+        data["red"] = {
+            "requests": obs.red.snapshot(),
+            "pdp": obs.pdp_red.snapshot(),
+        }
     return data
 
 
@@ -131,6 +140,8 @@ def merge_snapshots(
     spans: List[Dict[str, Any]] = []
     shards: List[Dict[str, Any]] = []
     profile: Dict[str, Dict[str, float]] = {}
+    slo = SLOTracker()
+    red: Optional[Dict[str, RedAccounting]] = None
     span_count = 0
     spans_dropped = 0
     budget = max_spans if max_spans is not None else float("inf")
@@ -157,6 +168,13 @@ def merge_snapshots(
         spans_dropped += snap.get("spans_dropped", 0)
         export_dropped += snap.get("export_spans_dropped", 0)
         registry.merge_snapshot(snap.get("metrics", {}))
+        slo.merge_snapshot(snap.get("slo", {}))
+        shard_red = snap.get("red")
+        if shard_red is not None:
+            if red is None:
+                red = {"requests": RedAccounting(), "pdp": RedAccounting()}
+            for section in red:
+                red[section].merge_snapshot(shard_red.get(section, {}))
         for section, stats in snap.get("profile", {}).items():
             merged = profile.setdefault(section, {"calls": 0, "total_ms": 0.0})
             merged["calls"] += stats.get("calls", 0)
@@ -165,7 +183,7 @@ def merge_snapshots(
         stats["mean_us"] = (
             stats["total_ms"] * 1e3 / stats["calls"] if stats["calls"] else 0.0
         )
-    return {
+    merged_doc = {
         "version": SNAPSHOT_VERSION,
         "sharded": True,
         "shards": shards,
@@ -174,8 +192,14 @@ def merge_snapshots(
         "spans_dropped": spans_dropped,
         "export_spans_dropped": export_dropped,
         "metrics": registry.snapshot(),
+        "slo": slo.snapshot(),
         "profile": {k: profile[k] for k in sorted(profile)},
     }
+    if red is not None:
+        merged_doc["red"] = {
+            section: accounting.snapshot() for section, accounting in red.items()
+        }
+    return merged_doc
 
 
 def _count_span_dicts(span: Dict[str, Any]) -> int:
@@ -183,8 +207,37 @@ def _count_span_dicts(span: Dict[str, Any]) -> int:
     return 1 + sum(_count_span_dicts(c) for c in span.get("children", ()))
 
 
+def render_red(obs: Observability) -> str:
+    """Text table of the RED series: rate, errors, duration quantiles.
+
+    One row per (scope, action): request count, error count, sketch
+    p50/p90/p99 in microseconds, and the p99 exemplar trace id when one
+    was captured (the jump-off point into the span waterfall and the
+    forensic timeline).
+    """
+    lines: List[str] = []
+    for heading, accounting in (
+        ("requests", obs.red), ("pdp", obs.pdp_red)
+    ):
+        series = accounting.series()
+        if not series:
+            continue
+        for (scope, action), row in sorted(series.items()):
+            quantiles = "  ".join(
+                f"{label}={value:.1f}us" if value is not None else f"{label}=-"
+                for label, value in row.sketch.quantiles().items()
+            )
+            exemplar = row.sketch.exemplar(0.99)
+            lines.append(
+                f"{heading:<9} {scope:<18} {action:<12} n={row.requests:<6} "
+                f"err={row.error_count:<5} {quantiles}"
+                + (f"  exemplar={exemplar['trace']}" if exemplar else "")
+            )
+    return "\n".join(lines) if lines else "(no requests recorded)"
+
+
 def render_report(obs: Observability, max_exchanges_per_span: int = 12) -> str:
-    """The full text run report: spans, then metrics, then profile."""
+    """The full text run report: spans, metrics, RED, then profile."""
     sections = [
         "== span tree (virtual time) ==",
         obs.tracer.render(max_exchanges_per_span=max_exchanges_per_span)
@@ -192,6 +245,9 @@ def render_report(obs: Observability, max_exchanges_per_span: int = 12) -> str:
         "",
         "== metrics ==",
         obs.metrics.render(),
+        "",
+        "== RED (rate / errors / duration) ==",
+        render_red(obs),
         "",
         "== wall-clock profile ==",
         obs.profiler.render(),

@@ -121,6 +121,34 @@ class Histogram:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile from the bucket counts (None if empty).
+
+        Standard fixed-bucket estimation (the ``histogram_quantile``
+        idiom): find the bucket holding the target rank and interpolate
+        linearly inside it, clamping to the observed min/max so tiny
+        samples do not extrapolate past real data.  Samples in the
+        overflow bucket estimate as the observed max.
+        """
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            bucket_count = self.counts[i]
+            if bucket_count and cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                value = lower + (bound - lower) * fraction
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+            cumulative += bucket_count
+            lower = bound
+        return self.max
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready summary with per-bucket counts."""
         return {
@@ -233,9 +261,18 @@ class MetricsRegistry:
                 f"gauge     {name:<34} value={gauge.value:g} peak={gauge.peak:g}"
             )
         for name, hist in sorted(self._histograms.items()):
+            quantiles = "  ".join(
+                f"{label}={value:g}" if value is not None else f"{label}=-"
+                for label, value in (
+                    ("p50", hist.quantile(0.5)),
+                    ("p90", hist.quantile(0.9)),
+                    ("p99", hist.quantile(0.99)),
+                )
+            )
             lines.append(
                 f"histogram {name:<34} n={hist.count} mean={hist.mean:.2f} "
                 f"min={hist.min if hist.min is not None else '-'} "
-                f"max={hist.max if hist.max is not None else '-'}"
+                f"max={hist.max if hist.max is not None else '-'}  "
+                + quantiles
             )
         return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -90,6 +90,32 @@ class Observer:
     def on_audit(self, entry: Any) -> None:
         """One cloud audit entry was recorded (request handled or sweep)."""
 
+    def on_request(
+        self,
+        design: str,
+        action: str,
+        outcome: str,
+        duration_ns: int,
+        trace_id: str,
+        now: float,
+    ) -> None:
+        """One endpoint request finished (served or policy-rejected).
+
+        The RED record point: *outcome* is ``"ok"`` or the rejection
+        code, *duration_ns* is the wall-clock handler duration, *now*
+        is the virtual timestamp.  Only fired when a real observer is
+        installed — ``CloudService.handle_packet`` guards the call (and
+        the ``perf_counter_ns`` reads around it) behind its precomputed
+        fast-path flag, so uninstrumented runs never reach it.
+        """
+
+    def on_pdp_decide(self, action: str, duration_ns: int) -> None:
+        """The PDP evaluated one request's rule list (cache misses only).
+
+        Same fast-path discipline as :meth:`on_request`: the decision
+        point only times itself when the service is observed.
+        """
+
     def on_authz_decision(self, decision: Any) -> None:
         """The cloud's PDP decided one request (a typed ``Decision``).
 

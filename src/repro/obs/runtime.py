@@ -19,7 +19,14 @@ from typing import Any, ContextManager, Dict, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer
 from repro.obs.profiler import Profiler
+from repro.obs.slo import RedAccounting, SLOTracker
 from repro.obs.tracer import Tracer
+
+#: Observer counters that double as SLO bad events: an infrastructure
+#: failure (a chaos drop or timeout) is a request the service failed to
+#: serve, charged against the availability error budget.  Policy
+#: rejections are *not* here — denying an attacker is correct service.
+_SLO_BAD_COUNTERS = {"chaos.drops": "drop", "chaos.timeouts": "timeout"}
 
 
 class Observability(Observer):
@@ -34,6 +41,12 @@ class Observability(Observer):
         self.tracer = Tracer(max_spans=max_spans)
         self.metrics = MetricsRegistry()
         self.profiler = Profiler()
+        #: RED series (rate, errors, duration sketch) per (design, action)
+        self.red = RedAccounting()
+        #: PDP decide timings per ("pdp", action); cache misses only
+        self.pdp_red = RedAccounting()
+        #: the availability series behind SLO/burn-rate evaluation
+        self.slo = SLOTracker()
         self.trace_messages = trace_messages
         self._env: Optional[Any] = None
         #: rule trace of the decision awaiting its exchange's audit entry
@@ -59,8 +72,13 @@ class Observability(Observer):
         return self.profiler.section(section)
 
     def count(self, name: str, n: int = 1, **labels: Any) -> None:
-        """Increment the counter *name*."""
+        """Increment the counter *name* (SLO-bad counters also feed SLO)."""
         self.metrics.counter(name).inc(n, **labels)
+        cause = _SLO_BAD_COUNTERS.get(name)
+        if cause is not None and self._env is not None:
+            self.slo.record_bad(
+                self._env.clock.now, labels.get("cause", cause), n
+            )
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge *name*."""
@@ -96,6 +114,28 @@ class Observability(Observer):
                 attrs["authz"] = self._pending_authz
                 self._pending_authz = ""
             self.tracer.event(entry.summary, **attrs)
+
+    def on_request(
+        self,
+        design: str,
+        action: str,
+        outcome: str,
+        duration_ns: int,
+        trace_id: str,
+        now: float,
+    ) -> None:
+        """Fold one finished endpoint request into RED + SLO accounting.
+
+        Deliberately registry-free: RED sketches hold wall-clock
+        durations and live beside the metrics registry, so instrumented
+        runs keep their pinned metric fingerprints byte-identical.
+        """
+        self.red.record(design, action, outcome, duration_ns / 1000.0, trace_id)
+        self.slo.record_request(now)
+
+    def on_pdp_decide(self, action: str, duration_ns: int) -> None:
+        """Record one PDP rule-list evaluation's wall duration."""
+        self.pdp_red.record("pdp", action, "ok", duration_ns / 1000.0)
 
     def on_authz_decision(self, decision: Any) -> None:
         """Hold the decision's rule trace for the exchange's audit leaf.

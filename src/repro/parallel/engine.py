@@ -120,6 +120,12 @@ class ShardResult:
     #: wall seconds spent producing the ready-to-attack world (build +
     #: setup + settling run when cold, image restore when warm)
     world_seconds: float = 0.0
+    #: observer-side runtime statistics (authorization-cache hit rates,
+    #: …) captured at shard end.  Like pool stats, these describe the
+    #: *execution*, not the campaign: they feed the report's "runtime"
+    #: line only and never enter merged results, so pooled/warm runs
+    #: stay bit-identical to serial.
+    runtime: Dict[str, Any] = field(default_factory=dict)
 
 
 def run_shard(
@@ -226,6 +232,7 @@ def run_shard(
         detection=detection_score,
         world_source=world_source,
         world_seconds=world_seconds,
+        runtime={"authz_cache": fleet.cloud.authz_cache.stats()},
     )
 
 
@@ -304,6 +311,37 @@ class ShardedCampaignResult:
             [result.detection for result in self.shard_results]
         )
 
+    @property
+    def runtime_stats(self) -> Dict[str, Any]:
+        """Execution-side statistics: authz-cache hit rates (+ pool).
+
+        Summed over shards from each :attr:`ShardResult.runtime` plus
+        the coordinator's pool stats when a pool ran the shards.  Part
+        of the *runtime* report line only — deliberately excluded from
+        merged campaign results and the default :meth:`to_dict`, so
+        execution strategy never leaks into the bit-identical outputs.
+        """
+        authz = {"hits": 0, "misses": 0, "lookups": 0, "invalidations": 0}
+        for result in self.shard_results:
+            stats = result.runtime.get("authz_cache", {})
+            for key in authz:
+                authz[key] += stats.get(key, 0)
+        authz["hit_rate"] = (
+            authz["hits"] / authz["lookups"] if authz["lookups"] else 0.0
+        )
+        data: Dict[str, Any] = {"authz_cache": authz}
+        if self.pool_stats is not None:
+            stats = self.pool_stats
+            data["pool"] = {
+                "tasks": stats.get("tasks", 0),
+                "world_seconds": sum(
+                    r.world_seconds for r in self.shard_results
+                ),
+                "utilization": stats.get("utilization", 0.0),
+                "respawns": stats.get("respawns", 0),
+            }
+        return data
+
     def to_dict(self, include_pool: bool = False) -> Dict[str, Any]:
         """JSON-able report dict (what the benchmarks/CLI JSON consume).
 
@@ -339,6 +377,7 @@ class ShardedCampaignResult:
         if include_pool:
             if self.pool_stats is not None:
                 data["pool"] = dict(self.pool_stats)
+            data["runtime"] = self.runtime_stats
             data["shard_worlds"] = [
                 {
                     "shard": result.shard_index,
@@ -364,6 +403,21 @@ class ShardedCampaignResult:
                 f"cold={stats['cold_builds']} respawns={stats['respawns']} "
                 f"utilization={stats['utilization']:.0%}"
             )
+        runtime = self.runtime_stats
+        authz = runtime["authz_cache"]
+        runtime_line = (
+            f"runtime: authz-cache {authz['hits']}/{authz['lookups']} hits "
+            f"({authz['hit_rate']:.0%})"
+        )
+        pool_runtime = runtime.get("pool")
+        if pool_runtime is not None:
+            runtime_line += (
+                f" · pool tasks={pool_runtime['tasks']} "
+                f"world={pool_runtime['world_seconds']:.2f}s "
+                f"utilization={pool_runtime['utilization']:.0%} "
+                f"respawns={pool_runtime['respawns']}"
+            )
+        lines.append(runtime_line)
         for result in self.shard_results:
             lines.append(
                 f"  shard {result.shard_index}: seed={result.seed} "
